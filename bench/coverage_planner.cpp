@@ -1,0 +1,39 @@
+// §3's deployment question, quantified: how many ceiling TXs does a room
+// need, as a function of the steering cone?  The GVS102's ±20° beam cone
+// covers only a small disk at head height — the paper's "limited
+// field-of-view coverage of the GMs" — while a (hypothetical) wide-angle
+// steering stage collapses the count to a handful.
+#include <cstdio>
+
+#include "link/coverage.hpp"
+#include "util/units.hpp"
+
+using namespace cyclops;
+
+int main() {
+  std::printf("== Multi-TX coverage planning (§3) ==\n\n");
+
+  std::printf("room_m, cone_half_angle_deg, redundancy, tx_count, "
+              "covered_fraction\n");
+  for (double size : {3.0, 4.0, 6.0}) {
+    for (double cone_deg : {20.0, 35.0, 60.0}) {
+      for (int redundancy : {1, 2}) {
+        link::RoomConfig room;
+        room.width = size;
+        room.depth = size;
+        room.tx_cone_half_angle = util::deg_to_rad(cone_deg);
+        room.max_range = cone_deg > 30.0 ? 3.5 : 3.0;
+        room.min_coverage = redundancy;
+        const link::CoveragePlan plan = link::plan_coverage(room);
+        std::printf("%.0fx%.0f, %.0f, %d, %zu, %.2f\n", size, size, cone_deg,
+                    redundancy, plan.tx_positions.size(),
+                    plan.covered_fraction);
+      }
+    }
+  }
+
+  std::printf("\nreading: the stock GVS102 cone (±20°) needs dozens of TXs "
+              "per room — §6's miniaturization/cost hurdle; wide-angle "
+              "steering (±60°) collapses the count to a handful.\n");
+  return 0;
+}

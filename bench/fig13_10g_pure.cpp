@@ -1,0 +1,57 @@
+// Reproduces Fig 13: 10G throughput and received power for purely linear
+// and purely angular motions (rail / rotation-stage strokes of gradually
+// increasing speed, 50 ms iperf windows).
+//
+// Paper anchors: optimal 9.4 Gbps up to ~33 cm/s linear (observed up to
+// 39 cm/s) and ~16-18 deg/s angular (up to ~19 deg/s); received power
+// stays above -25..-30 dBm inside those bounds.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+using namespace cyclops;
+
+int main() {
+  std::printf("== Fig 13: 10G throughput/power vs linear and angular speed "
+              "==\n\n");
+
+  bench::CalibratedRig rig =
+      bench::make_calibrated_rig(42, sim::prototype_10g_config());
+  const double goodput = rig.proto.scene.config().sfp.goodput_gbps;
+
+  // --- purely linear motion (cm/s) ---
+  std::vector<double> linear_speeds;
+  for (double v = 0.05; v <= 0.90 + 1e-9; v += 0.05) linear_speeds.push_back(v);
+  const auto linear_rows =
+      bench::stroke_speed_sweep(rig, bench::StrokeKind::kLinear, linear_speeds);
+
+  std::printf("linear_speed_cm_s, throughput_gbps, power_dbm\n");
+  for (const auto& row : linear_rows) {
+    std::printf("%.0f, %.2f, %.1f\n", row.speed * 100.0, row.throughput_gbps,
+                row.power_dbm);
+  }
+  const double max_linear = bench::max_optimal_speed(linear_rows, goodput);
+  std::printf("max linear speed with optimal throughput: %.0f cm/s "
+              "(paper: ~33-39 cm/s)\n\n",
+              max_linear * 100.0);
+
+  // --- purely angular motion (deg/s) ---
+  std::vector<double> angular_speeds;
+  for (double w = 4.0; w <= 40.0 + 1e-9; w += 4.0) {
+    angular_speeds.push_back(util::deg_to_rad(w));
+  }
+  const auto angular_rows = bench::stroke_speed_sweep(
+      rig, bench::StrokeKind::kAngular, angular_speeds);
+
+  std::printf("angular_speed_deg_s, throughput_gbps, power_dbm\n");
+  for (const auto& row : angular_rows) {
+    std::printf("%.0f, %.2f, %.1f\n", util::rad_to_deg(row.speed),
+                row.throughput_gbps, row.power_dbm);
+  }
+  const double max_angular = bench::max_optimal_speed(angular_rows, goodput);
+  std::printf("max angular speed with optimal throughput: %.0f deg/s "
+              "(paper: ~16-19 deg/s)\n",
+              util::rad_to_deg(max_angular));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig 16 (§5.4): trace-driven connectivity of the 25G
+// prototype over 500 one-minute head traces, simulated in 1 ms slots.
+//
+// Paper anchors: operational in 98.6 % of slots on average (per-trace
+// range ~95-99.98 %), effective bandwidth ~23 Gbps, and >60 % of
+// off-slots falling in 30-slot frames with fewer than 10 off-slots.
+#include <cstdio>
+
+#include "link/slot_eval.hpp"
+#include "motion/trace_generator.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+using namespace cyclops;
+
+int main() {
+  std::printf("== Fig 16: CDF of per-trace disconnected-slot fraction "
+              "(25G, 500 traces, 1 ms slots) ==\n\n");
+
+  util::Rng rng(2022);
+  const geom::Pose base{geom::Mat3::identity(), {0.0, 0.8, 1.2}};
+  // The §5.4 dataset (Lo et al. 360° viewers) is a different population
+  // than the paper's own Fig-3 speed study: it includes more vigorous
+  // posture shifts, occasionally exceeding the Fig-3 "normal use" maxima.
+  motion::TraceGeneratorConfig gen_config;
+  gen_config.max_linear_mps = 0.19;
+  gen_config.shift_peak_mps = 0.17;
+  gen_config.shift_rate_hz = 0.22;
+  const auto traces = motion::generate_dataset(base, 500, gen_config, rng);
+
+  const link::SlotEvalConfig config;  // §5.4 constants (25G tolerances)
+  const link::DatasetEvalResult result =
+      link::evaluate_dataset(traces, config);
+
+  const util::Cdf cdf(result.per_trace_off_fraction);
+  std::printf("cdf_fraction, disconnected_slot_percent\n");
+  for (int i = 1; i <= 20; ++i) {
+    const double q = i / 20.0;
+    std::printf("%.2f, %.3f\n", q, 100.0 * cdf.quantile(q));
+  }
+
+  const double operational = 1.0 - result.pooled.off_fraction();
+  std::printf("\noverall operational slots: %.2f%% (paper: 98.6%%)\n",
+              100.0 * operational);
+  std::printf("per-trace operational range: %.2f%% .. %.2f%% "
+              "(paper: 95%% .. 99.98%%)\n",
+              100.0 * (1.0 - cdf.max()), 100.0 * (1.0 - cdf.min()));
+  std::printf("effective bandwidth: %.1f Gbps of 23.5 (paper: ~23)\n",
+              operational * 23.5);
+  std::printf("off-slots in lightly-affected frames (<10 off of 30): "
+              "%.0f%% (paper: >60%%)\n",
+              100.0 * result.pooled.scattered_fraction(10));
+  return 0;
+}

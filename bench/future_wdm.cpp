@@ -1,0 +1,88 @@
+// §6 future work, implemented: 40G/100G WDM links over the Cyclops
+// steering design, with commodity vs custom (achromatic) collimators.
+//
+// The shared (geometry + mode) coupling loss comes from the calibrated
+// diverging-beam model at perfect alignment; each WDM lane then pays its
+// own chromatic penalty.  Expectation: with a commodity collimator the
+// outer lanes (±30 nm) lose their thin margins and the aggregate rate
+// collapses; the §6 "customized collimator" restores all four lanes.
+#include <cstdio>
+
+#include "optics/coupling.hpp"
+#include "optics/wdm.hpp"
+#include "util/units.hpp"
+
+using namespace cyclops;
+
+namespace {
+
+void report(const char* label, const optics::WdmTransceiver& transceiver,
+            const optics::CollimatorChromatics& collimator,
+            double shared_loss_db) {
+  const optics::WdmLinkReport r =
+      optics::evaluate_wdm_link(transceiver, collimator, shared_loss_db);
+  std::printf("%s, %s:\n", transceiver.name.c_str(), label);
+  for (const auto& lane : r.lanes) {
+    std::printf("  lane %.0f nm: rx %.1f dBm, margin %+.1f dB -> %s\n",
+                lane.wavelength_nm, lane.rx_power_dbm, lane.margin_db,
+                lane.up ? "up" : "DOWN");
+  }
+  std::printf("  aggregate: %.1f Gbps (%d/%zu lanes)\n\n",
+              r.aggregate_rate_gbps, r.lanes_up, r.lanes.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== §6 future work: 40G/100G WDM links and custom "
+              "collimators ==\n\n");
+
+  // Shared coupling loss of an improved diverging design at alignment
+  // (adjustable-focus class optics: geometric capture + small mode
+  // mismatch; no EDFA exists in the O-band).
+  const optics::LinkDesign design = optics::diverging_25g(12e-3, 1.5);
+  const optics::CouplingResult coupling = optics::coupling_loss_from_errors(
+      design.receiver, 12e-3, design.beam.divergence_half_angle,
+      design.beam.tail_factor, 0.0, 0.0);
+  const double shared_loss = coupling.total_db();
+  std::printf("shared coupling loss at alignment: %.1f dB\n\n", shared_loss);
+
+  report("commodity collimator", optics::qsfp_lr4(),
+         optics::commodity_collimator(), shared_loss);
+  report("custom achromatic collimator (§6)", optics::qsfp_lr4(),
+         optics::custom_achromatic_collimator(), shared_loss);
+
+  report("commodity collimator", optics::qsfp28_lr4(),
+         optics::commodity_collimator(), shared_loss);
+  report("custom achromatic collimator (§6)", optics::qsfp28_lr4(),
+         optics::custom_achromatic_collimator(), shared_loss);
+
+  // Movement tolerance: the thin outer-lane margins are what break first
+  // as the link misaligns.  Sweep the RX incidence error and report the
+  // aggregate rate per collimator.
+  std::printf("aggregate rate vs RX angular error (100G):\n");
+  std::printf("psi_mrad, commodity_gbps, custom_gbps\n");
+  for (double psi_mrad = 0.0; psi_mrad <= 5.0 + 1e-9; psi_mrad += 0.5) {
+    const optics::CouplingResult at_psi = optics::coupling_loss_from_errors(
+        design.receiver, 12e-3, design.beam.divergence_half_angle,
+        design.beam.tail_factor, 0.0, util::mrad_to_rad(psi_mrad));
+    const double loss = at_psi.total_db();
+    const double commodity =
+        optics::evaluate_wdm_link(optics::qsfp28_lr4(),
+                                  optics::commodity_collimator(), loss)
+            .aggregate_rate_gbps;
+    const double custom =
+        optics::evaluate_wdm_link(optics::qsfp28_lr4(),
+                                  optics::custom_achromatic_collimator(), loss)
+            .aggregate_rate_gbps;
+    std::printf("%.1f, %.1f, %.1f\n", psi_mrad, commodity, custom);
+  }
+
+  std::printf("\nreading: the commodity collimator's outer lanes die first "
+              "under misalignment, shrinking the movement tolerance; the "
+              "custom achromat keeps all four lanes together — §6's case "
+              "for customized collimators.  The TP mechanism itself is "
+              "wavelength-agnostic: the steering path is identical to the "
+              "10G/25G prototypes.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "core/calibration.hpp"
+
+#include "galvo/factory.hpp"
+#include "geom/mat3.hpp"
+
+namespace cyclops::core {
+namespace {
+
+geom::Pose random_pose_error(util::Rng& rng, double pos_sigma,
+                             double angle_sigma) {
+  const geom::Vec3 axis =
+      geom::Vec3{rng.normal(), rng.normal(), rng.normal()}.normalized();
+  return {geom::Mat3::rotation(axis, rng.normal(0.0, angle_sigma)),
+          {rng.normal(0.0, pos_sigma), rng.normal(0.0, pos_sigma),
+           rng.normal(0.0, pos_sigma)}};
+}
+
+}  // namespace
+
+geom::Pose random_rig_pose(const geom::Pose& nominal, double position_extent,
+                           double angle_extent, util::Rng& rng) {
+  const geom::Vec3 axis =
+      geom::Vec3{rng.normal(), rng.normal(), rng.normal()}.normalized();
+  const double angle = rng.uniform(-angle_extent, angle_extent);
+  const geom::Vec3 offset{rng.uniform(-position_extent, position_extent),
+                          rng.uniform(-position_extent, position_extent),
+                          rng.uniform(-position_extent, position_extent)};
+  return geom::Pose{geom::Mat3::rotation(axis, angle) * nominal.rotation(),
+                    nominal.translation() + offset};
+}
+
+CalibrationResult calibrate_prototype(sim::Prototype& proto,
+                                      const CalibrationConfig& config,
+                                      util::Rng& rng) {
+  const galvo::GalvoSpec spec = galvo::gvs102_spec();
+  const GmaModel guess = nominal_kspace_guess(proto.config.board_distance);
+
+  // ---- Stage 1: each GMA on the board rig. ----
+  const galvo::GalvoMirror tx_galvo(proto.tx_galvo_truth, spec);
+  const auto tx_samples = collect_board_samples(
+      tx_galvo, proto.k_from_tx_gma, config.board, rng);
+  KSpaceFitReport tx_stage1 =
+      fit_kspace_model(tx_samples, guess, config.stage1_options);
+
+  const galvo::GalvoMirror rx_galvo(proto.rx_galvo_truth, spec);
+  const auto rx_samples = collect_board_samples(
+      rx_galvo, proto.k_from_rx_gma, config.board, rng);
+  KSpaceFitReport rx_stage1 =
+      fit_kspace_model(rx_samples, guess, config.stage1_options);
+
+  // ---- Stage 2: aligned-link tuples in the deployed scene. ----
+  ExhaustiveAligner aligner(config.aligner);
+  std::vector<AlignedSample> tuples;
+  tuples.reserve(static_cast<std::size_t>(config.stage2_samples));
+  sim::Voltages hint{};
+  for (int i = 0; i < config.stage2_samples; ++i) {
+    const geom::Pose pose =
+        random_rig_pose(proto.nominal_rig_pose, config.pose_position_extent,
+                        config.pose_angle_extent, rng);
+    proto.apply_rig_flex(rng);
+    proto.scene.set_rig_pose(pose);
+    const AlignResult aligned = aligner.align(proto.scene, hint);
+    if (!aligned.success) continue;  // the lab would not record this pose
+    hint = aligned.voltages;
+    const tracking::PoseReport report = proto.tracker.report(0, pose);
+    tuples.push_back({aligned.voltages, report.pose});
+  }
+
+  // Initial guesses: manual measurement of the deployment.
+  const geom::Pose tx_guess =
+      proto.true_map_tx * random_pose_error(rng, config.guess_position_sigma,
+                                            config.guess_angle_sigma);
+  const geom::Pose rx_guess =
+      proto.true_map_rx * random_pose_error(rng, config.guess_position_sigma,
+                                            config.guess_angle_sigma);
+
+  MappingFitReport mapping =
+      config.blind_stage2
+          ? fit_mapping_blind(tx_stage1.model, rx_stage1.model, tuples, rng,
+                              config.stage2_options)
+          : fit_mapping(tx_stage1.model, rx_stage1.model, tuples, tx_guess,
+                        rx_guess, config.stage2_options);
+  // Multi-start: the 12-parameter landscape has local optima; when the
+  // residual looks poor, retry from jittered guesses and keep the best.
+  for (int attempt = 0;
+       attempt < 4 && mapping.avg_coincidence_m > 5e-3; ++attempt) {
+    const geom::Pose tx_retry =
+        tx_guess * random_pose_error(rng, config.guess_position_sigma,
+                                     config.guess_angle_sigma);
+    const geom::Pose rx_retry =
+        rx_guess * random_pose_error(rng, config.guess_position_sigma,
+                                     config.guess_angle_sigma);
+    MappingFitReport candidate =
+        fit_mapping(tx_stage1.model, rx_stage1.model, tuples, tx_retry,
+                    rx_retry, config.stage2_options);
+    if (candidate.avg_coincidence_m < mapping.avg_coincidence_m) {
+      mapping = std::move(candidate);
+    }
+  }
+
+  proto.scene.set_rig_pose(proto.nominal_rig_pose);
+  return {std::move(tx_stage1), std::move(rx_stage1), std::move(mapping),
+          std::move(tuples)};
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,113 @@
+#include "core/exhaustive_aligner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclops::core {
+namespace {
+
+/// Coarse 2-D raster over (a, b) around a center, scoring with `score`
+/// (higher is better).  Returns the best (a, b).
+template <typename ScoreFn>
+std::pair<double, double> raster(double a0, double b0, double half_extent,
+                                 double step, int& evals,
+                                 const ScoreFn& score) {
+  double best_a = a0, best_b = b0;
+  double best = score(a0, b0);
+  ++evals;
+  for (double a = a0 - half_extent; a <= a0 + half_extent; a += step) {
+    for (double b = b0 - half_extent; b <= b0 + half_extent; b += step) {
+      const double s = score(a, b);
+      ++evals;
+      if (s > best) {
+        best = s;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  return {best_a, best_b};
+}
+
+}  // namespace
+
+AlignResult ExhaustiveAligner::align(const sim::Scene& scene,
+                                     const sim::Voltages& hint) const {
+  AlignResult result = align_once(scene, hint);
+  const double sensitivity = scene.config().sfp.rx_sensitivity_dbm;
+  if (result.power_dbm < sensitivity) {
+    // The hint led the search into a dead corner: redo from scratch with a
+    // wider sweep (the lab equivalent: start the scan over).
+    AlignerOptions wide = options_;
+    wide.tx_scan_half_extent = std::max(options_.tx_scan_half_extent, 6.0);
+    wide.rx_scan_half_extent = std::max(options_.rx_scan_half_extent, 6.0);
+    AlignResult retry = ExhaustiveAligner(wide).align_once(scene, {});
+    retry.evaluations += result.evaluations;
+    if (retry.power_dbm > result.power_dbm) result = retry;
+  }
+  result.success = result.power_dbm >= sensitivity;
+  return result;
+}
+
+AlignResult ExhaustiveAligner::align_once(const sim::Scene& scene,
+                                          const sim::Voltages& hint) const {
+  AlignResult result;
+  sim::Voltages v = hint;
+  const double vmax = scene.tx().galvo().spec().max_voltage;
+  const auto clamp_all = [&](sim::Voltages& vv) {
+    vv.tx1 = std::clamp(vv.tx1, -vmax, vmax);
+    vv.tx2 = std::clamp(vv.tx2, -vmax, vmax);
+    vv.rx1 = std::clamp(vv.rx1, -vmax, vmax);
+    vv.rx2 = std::clamp(vv.rx2, -vmax, vmax);
+  };
+
+  // Phase A: sweep the TX beam until the quad photodiodes see light.
+  const auto diode_sum = [&](double t1, double t2) {
+    sim::Voltages probe = v;
+    probe.tx1 = t1;
+    probe.tx2 = t2;
+    return scene.photodiodes(probe).sum();
+  };
+  std::tie(v.tx1, v.tx2) =
+      raster(v.tx1, v.tx2, options_.tx_scan_half_extent, options_.tx_scan_step,
+             result.evaluations, diode_sum);
+
+  // Phase B: sweep the RX GM until fiber power appears.
+  const auto fiber_power_rx = [&](double r1, double r2) {
+    sim::Voltages probe = v;
+    probe.rx1 = r1;
+    probe.rx2 = r2;
+    return scene.received_power_dbm(probe);
+  };
+  std::tie(v.rx1, v.rx2) =
+      raster(v.rx1, v.rx2, options_.rx_scan_half_extent, options_.rx_scan_step,
+             result.evaluations, fiber_power_rx);
+
+  // Phase C: joint polish — a 4-D Nelder-Mead on received power.
+  for (int round = 0; round < options_.refine_rounds; ++round) {
+    opt::NelderMeadOptions nm;
+    nm.initial_step = round == 0 ? 0.15 : 0.02;
+    nm.max_evaluations = 600;
+    nm.x_tolerance = 1e-5;
+    const auto objective = [&](std::span<const double> x) {
+      sim::Voltages probe{x[0], x[1], x[2], x[3]};
+      const double p = scene.received_power_dbm(probe);
+      return std::isfinite(p) ? -p : 1e6;
+    };
+    const auto nm_result =
+        opt::nelder_mead(objective, {v.tx1, v.tx2, v.rx1, v.rx2}, nm);
+    result.evaluations += nm_result.evaluations;
+    if (nm_result.value < 1e6) {
+      v = {nm_result.params[0], nm_result.params[1], nm_result.params[2],
+           nm_result.params[3]};
+    }
+  }
+  clamp_all(v);
+
+  result.voltages = v;
+  result.power_dbm = scene.received_power_dbm(v);
+  ++result.evaluations;
+  return result;
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,73 @@
+#include "core/gprime.hpp"
+
+#include <cmath>
+
+#include "geom/ray.hpp"
+
+namespace cyclops::core {
+namespace {
+
+std::optional<geom::Vec3> hit_on_plane(const std::optional<geom::Ray>& ray,
+                                       const geom::Plane& plane) {
+  if (!ray) return std::nullopt;
+  const auto t = geom::intersect(*ray, plane, /*forward_only=*/false);
+  if (!t) return std::nullopt;
+  return ray->at(*t);
+}
+
+}  // namespace
+
+GPrimeResult GPrimeSolver::solve(const GmaModel& model,
+                                 const geom::Vec3& target, double v1_init,
+                                 double v2_init) const {
+  GPrimeResult result;
+  result.v1 = v1_init;
+  result.v2 = v2_init;
+
+  const double eps = options_.probe_epsilon_volts;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    const auto ray0 = model.trace(result.v1, result.v2);
+    if (!ray0) return result;
+    // Plane P: perpendicular to the current beam, through the target.
+    const geom::Plane plane{target, ray0->dir};
+
+    const auto k0 = hit_on_plane(ray0, plane);
+    const auto k1 = hit_on_plane(model.trace(result.v1 + eps, result.v2), plane);
+    const auto k2 = hit_on_plane(model.trace(result.v1, result.v2 + eps), plane);
+    if (!k0 || !k1 || !k2) return result;
+
+    // Per-volt motion of the hit point on P.
+    const geom::Vec3 u1 = (*k1 - *k0) / eps;
+    const geom::Vec3 u2 = (*k2 - *k0) / eps;
+    const geom::Vec3 d = target - *k0;
+
+    // Least-squares solve a*u1 + b*u2 = d (2x2 normal equations).
+    const double a11 = u1.dot(u1);
+    const double a12 = u1.dot(u2);
+    const double a22 = u2.dot(u2);
+    const double b1 = u1.dot(d);
+    const double b2 = u2.dot(d);
+    const double det = a11 * a22 - a12 * a12;
+    if (std::abs(det) < 1e-18) return result;
+    const double a = (b1 * a22 - b2 * a12) / det;
+    const double b = (a11 * b2 - a12 * b1) / det;
+
+    result.v1 += a;
+    result.v2 += b;
+
+    if (std::abs(a) < options_.tolerance_volts &&
+        std::abs(b) < options_.tolerance_volts) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (const auto final_ray = model.trace(result.v1, result.v2)) {
+    result.miss_distance = geom::line_point_distance(*final_ray, target);
+  }
+  return result;
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,49 @@
+// The reverse GMA function G' (§4.3): given a target point tau, find the
+// voltages whose output beam passes through tau.
+//
+// Purely computational — no training — via the paper's iteration: probe G
+// at (v1, v2), (v1+eps, v2), (v1, v2+eps); intersect the three beams with
+// the plane P through tau perpendicular to the current beam; solve the
+// 2x2 linear system for the voltage deltas that move the hit point onto
+// tau; repeat until the deltas drop below the minimum GM voltage step.
+// Converges in 2-4 iterations on real geometries.
+#pragma once
+
+#include "core/gma_model.hpp"
+#include "geom/vec3.hpp"
+
+namespace cyclops::core {
+
+struct GPrimeOptions {
+  double probe_epsilon_volts = 0.05;
+  /// Stop when both voltage deltas are below this (the paper uses the
+  /// minimum GM voltage step).
+  double tolerance_volts = 1e-3;
+  int max_iterations = 12;
+};
+
+struct GPrimeResult {
+  double v1 = 0.0;
+  double v2 = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  /// Final distance between the beam and tau (m), for diagnostics.
+  double miss_distance = 0.0;
+};
+
+class GPrimeSolver {
+ public:
+  explicit GPrimeSolver(GPrimeOptions options = {}) : options_(options) {}
+
+  /// Solves for the voltages aiming `model`'s beam through `target`,
+  /// starting from (v1_init, v2_init).
+  GPrimeResult solve(const GmaModel& model, const geom::Vec3& target,
+                     double v1_init = 0.0, double v2_init = 0.0) const;
+
+  const GPrimeOptions& options() const noexcept { return options_; }
+
+ private:
+  GPrimeOptions options_;
+};
+
+}  // namespace cyclops::core

@@ -1,0 +1,114 @@
+#include "core/kspace_calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "galvo/factory.hpp"
+#include "geom/ray.hpp"
+
+namespace cyclops::core {
+namespace {
+
+const geom::Plane kBoardPlane{{0, 0, 0}, {0, 0, 1}};
+
+std::optional<geom::Vec3> board_hit(const GmaModel& model, double v1,
+                                    double v2) {
+  const auto ray = model.trace(v1, v2);
+  if (!ray) return std::nullopt;
+  const auto t = geom::intersect(*ray, kBoardPlane, /*forward_only=*/false);
+  if (!t) return std::nullopt;
+  return ray->at(*t);
+}
+
+}  // namespace
+
+std::vector<BoardSample> collect_board_samples(
+    const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
+    const BoardConfig& config, util::Rng& rng) {
+  // The physical unit, as a geometric model in the board (K) frame.  This
+  // stands in for the experimenter's closed visual loop: they can steer the
+  // real beam onto a real grid point without knowing any parameters.
+  const GmaModel truth_in_k =
+      GmaModel(physical_galvo.params()).transformed(k_from_gma);
+  const GPrimeSolver solver;
+
+  std::vector<BoardSample> samples;
+  double v1 = 0.0, v2 = 0.0;  // warm start from the previous grid point
+  for (int i = 1; i < config.cells_x; ++i) {
+    for (int j = 1; j < config.cells_y; ++j) {
+      const double gx =
+          (i - config.cells_x / 2.0) * config.cell_size;
+      const double gy =
+          (j - config.cells_y / 2.0) * config.cell_size;
+      // The beam lands within hand-alignment accuracy of the grid point.
+      const geom::Vec3 achieved{gx + rng.normal(0.0, config.alignment_sigma),
+                                gy + rng.normal(0.0, config.alignment_sigma),
+                                0.0};
+      const auto result = solver.solve(truth_in_k, achieved, v1, v2);
+      if (!result.converged) continue;
+      if (!physical_galvo.voltage_in_range(result.v1) ||
+          !physical_galvo.voltage_in_range(result.v2)) {
+        continue;  // grid point outside the coverage cone
+      }
+      v1 = result.v1;
+      v2 = result.v2;
+      samples.push_back({gx, gy, v1, v2});
+    }
+  }
+  return samples;
+}
+
+double board_error(const GmaModel& model, const BoardSample& sample) {
+  const auto hit = board_hit(model, sample.v1, sample.v2);
+  if (!hit) return 1.0;  // 1 m penalty for a degenerate trace
+  const double dx = hit->x - sample.x;
+  const double dy = hit->y - sample.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
+                                 const GmaModel& initial_guess,
+                                 const opt::LevMarOptions& options) {
+  const auto residual_fn = [&samples](std::span<const double> params,
+                                      std::vector<double>& residuals) {
+    std::array<double, galvo::GalvoParams::kParamCount> packed{};
+    std::copy(params.begin(), params.end(), packed.begin());
+    const GmaModel model(galvo::GalvoParams::unpack(packed));
+    residuals.resize(samples.size() * 2);
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      const auto hit = board_hit(model, samples[s].v1, samples[s].v2);
+      if (hit) {
+        residuals[2 * s] = hit->x - samples[s].x;
+        residuals[2 * s + 1] = hit->y - samples[s].y;
+      } else {
+        residuals[2 * s] = residuals[2 * s + 1] = 1.0;
+      }
+    }
+  };
+
+  const auto packed = initial_guess.params().pack();
+  const auto fit = opt::levenberg_marquardt(
+      residual_fn, {packed.begin(), packed.end()}, options);
+
+  std::array<double, galvo::GalvoParams::kParamCount> out{};
+  std::copy(fit.params.begin(), fit.params.end(), out.begin());
+  KSpaceFitReport report{GmaModel(galvo::GalvoParams::unpack(out)), 0.0, 0.0,
+                         fit.iterations, fit.converged};
+  for (const auto& s : samples) {
+    const double e = board_error(report.model, s);
+    report.avg_error_m += e;
+    report.max_error_m = std::max(report.max_error_m, e);
+  }
+  if (!samples.empty()) {
+    report.avg_error_m /= static_cast<double>(samples.size());
+  }
+  return report;
+}
+
+GmaModel nominal_kspace_guess(double board_distance) {
+  const geom::Pose nominal_mount{geom::Mat3::identity(),
+                                 {0.0, 0.0, board_distance}};
+  return GmaModel(galvo::nominal_params()).transformed(nominal_mount);
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,69 @@
+// Stage 1 (§4.1): learn a GMA's model parameters in its K-space rig.
+//
+// Lab procedure being reproduced: the GMA sits ~1.5 m in front of a planar
+// board with a 20x15 grid of 1-inch cells (K-space x-y plane is the board).
+// For each of the 266 interior grid points the experimenter finds the
+// voltage pair that steers the beam onto the point (to within hand/eye
+// accuracy), yielding 4-tuples (x, y, v1, v2).  Nonlinear least squares
+// then recovers the GalvoParams minimizing the board-plane hit error,
+// seeded with the manufacturer's CAD values.
+#pragma once
+
+#include <vector>
+
+#include "core/gma_model.hpp"
+#include "core/gprime.hpp"
+#include "galvo/galvo_mirror.hpp"
+#include "geom/pose.hpp"
+#include "opt/levmar.hpp"
+#include "util/rng.hpp"
+
+namespace cyclops::core {
+
+/// One training tuple: board point (m) and the voltages that hit it.
+struct BoardSample {
+  double x = 0.0;
+  double y = 0.0;
+  double v1 = 0.0;
+  double v2 = 0.0;
+};
+
+struct BoardConfig {
+  int cells_x = 20;
+  int cells_y = 15;
+  double cell_size = 0.0254;  ///< 1 inch.
+  /// Hand-alignment accuracy: achieved hit point vs grid point (per-axis
+  /// Gaussian sigma, m).
+  double alignment_sigma = 0.8e-3;
+};
+
+/// Emulates the lab data collection against the *physical* galvo mounted
+/// at `k_from_gma` in the board rig.  Only interior grid points are used
+/// (19 x 14 = 266 for the default board).
+std::vector<BoardSample> collect_board_samples(
+    const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
+    const BoardConfig& config, util::Rng& rng);
+
+struct KSpaceFitReport {
+  GmaModel model;          ///< Learned model, expressed in K-space.
+  double avg_error_m = 0.0;  ///< Mean board-plane hit error over samples.
+  double max_error_m = 0.0;
+  int optimizer_iterations = 0;
+  bool converged = false;
+};
+
+/// Board-plane hit error of `model` against the samples (used for both the
+/// fit report and held-out evaluation).
+double board_error(const GmaModel& model, const BoardSample& sample);
+
+/// Fits the 25 GalvoParams to the samples, seeded by `initial_guess`
+/// (nominal CAD geometry placed at the nominal rig pose).
+KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
+                                 const GmaModel& initial_guess,
+                                 const opt::LevMarOptions& options = {});
+
+/// The customary initial guess: CAD-nominal galvo at the nominal board-rig
+/// placement (board_distance in front of the board, boresight at center).
+GmaModel nominal_kspace_guess(double board_distance);
+
+}  // namespace cyclops::core

@@ -1,0 +1,102 @@
+#include "core/persistence.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+
+namespace cyclops::core {
+namespace {
+
+constexpr const char* kMagic = "cyclops-calibration v1";
+
+void write_values(std::ostream& out, const char* key,
+                  std::span<const double> values) {
+  out << key;
+  out.precision(17);
+  for (double v : values) out << ' ' << v;
+  out << '\n';
+}
+
+std::vector<double> expect_line(std::istream& in, const std::string& key,
+                                std::size_t count) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("calibration file truncated before " + key);
+  }
+  std::istringstream ss(line);
+  std::string found_key;
+  ss >> found_key;
+  if (found_key != key) {
+    throw std::runtime_error("calibration file: expected '" + key +
+                             "', found '" + found_key + "'");
+  }
+  std::vector<double> values;
+  double v = 0.0;
+  while (ss >> v) values.push_back(v);
+  if (values.size() != count) {
+    throw std::runtime_error("calibration file: wrong arity for " + key);
+  }
+  return values;
+}
+
+}  // namespace
+
+void save_calibration(const std::filesystem::path& path,
+                      const CalibrationResult& calibration) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << kMagic << '\n';
+  write_values(out, "tx_model", calibration.tx_stage1.model.params().pack());
+  write_values(out, "rx_model", calibration.rx_stage1.model.params().pack());
+  write_values(out, "map_tx", calibration.mapping.map_tx.params());
+  write_values(out, "map_rx", calibration.mapping.map_rx.params());
+  const double stats[6] = {
+      calibration.tx_stage1.avg_error_m, calibration.tx_stage1.max_error_m,
+      calibration.rx_stage1.avg_error_m, calibration.rx_stage1.max_error_m,
+      calibration.mapping.avg_coincidence_m,
+      calibration.mapping.max_coincidence_m};
+  write_values(out, "stats", stats);
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+CalibrationResult load_calibration(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    throw std::runtime_error("not a cyclops calibration file: " +
+                             path.string());
+  }
+
+  const auto to_model = [](const std::vector<double>& values) {
+    std::array<double, galvo::GalvoParams::kParamCount> packed{};
+    std::copy(values.begin(), values.end(), packed.begin());
+    return GmaModel(galvo::GalvoParams::unpack(packed));
+  };
+  const auto to_pose = [](const std::vector<double>& values) {
+    std::array<double, 6> params{};
+    std::copy(values.begin(), values.end(), params.begin());
+    return geom::Pose::from_params(params);
+  };
+
+  const auto tx_values =
+      expect_line(in, "tx_model", galvo::GalvoParams::kParamCount);
+  const auto rx_values =
+      expect_line(in, "rx_model", galvo::GalvoParams::kParamCount);
+  const auto map_tx = expect_line(in, "map_tx", 6);
+  const auto map_rx = expect_line(in, "map_rx", 6);
+  const auto stats = expect_line(in, "stats", 6);
+
+  CalibrationResult result{
+      KSpaceFitReport{to_model(tx_values), stats[0], stats[1], 0, true},
+      KSpaceFitReport{to_model(rx_values), stats[2], stats[3], 0, true},
+      MappingFitReport{to_pose(map_tx), to_pose(map_rx), stats[4], stats[5],
+                       0, true},
+      {}};
+  return result;
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,32 @@
+// Calibration persistence.
+//
+// Stage 1 runs at the factory and Stage 2 once per deployment (§4's
+// "offline vs online training"); a real system must reload both across
+// power cycles and only re-run Stage 2 on re-deployment or VRH-T drift.
+// The file format is a line-oriented text format:
+//
+//   cyclops-calibration v1
+//   tx_model  <25 doubles>
+//   rx_model  <25 doubles>
+//   map_tx    <6 doubles>
+//   map_rx    <6 doubles>
+//   stats     <tx_avg tx_max rx_avg rx_max coincidence_avg coincidence_max>
+#pragma once
+
+#include <filesystem>
+
+#include "core/calibration.hpp"
+
+namespace cyclops::core {
+
+/// Writes the learned models and mappings.  Throws std::runtime_error on
+/// I/O failure.
+void save_calibration(const std::filesystem::path& path,
+                      const CalibrationResult& calibration);
+
+/// Reads a file written by save_calibration.  The returned result carries
+/// the learned models, mappings, and stats; the raw Stage-2 tuples are
+/// not persisted.  Throws std::runtime_error on I/O or format errors.
+CalibrationResult load_calibration(const std::filesystem::path& path);
+
+}  // namespace cyclops::core

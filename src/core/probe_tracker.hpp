@@ -1,0 +1,88 @@
+// Traditional probe-based tracking-and-pointing — the baseline Cyclops
+// replaces.
+//
+// FSONet-style [32] TP dithers the steering mirrors around the current
+// setpoint and follows the feedback gradient (quad-photodiode error for
+// the TX, received fiber power for the RX).  §3 argues this is
+// "challenging and likely even infeasible" for a VR link because the RX
+// moves angularly and the TX and RX voltages must be optimized *jointly*,
+// with every probe costing a real DAQ settle-and-measure cycle.  This
+// implementation makes that argument concrete and measurable
+// (bench/baseline_probe_tp): each probe observation costs
+// `probe_interval` of wall-clock time, during which the rig keeps moving.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/scene.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::core {
+
+struct ProbeTpConfig {
+  /// Wall-clock cost of one probe observation (DAQ write + settle + ADC
+  /// read).  GVS102 settle (300 us) + DAQ conversion (~1.5 ms).
+  util::SimTimeUs probe_interval = 1800;
+  /// Dither amplitude (V).
+  double dither_volts = 0.02;
+  /// Gradient-ascent step as a multiple of the dither.
+  double gain = 1.6;
+  /// Voltage clamp.
+  double max_voltage = 10.0;
+};
+
+/// One TP maintenance round = a fixed schedule of probe observations plus
+/// the resulting voltage update.  The caller advances the scene between
+/// probes (the rig moves while the probes run).
+class ProbeTracker {
+ public:
+  explicit ProbeTracker(ProbeTpConfig config) : config_(config) {}
+
+  /// Number of probe observations in one maintenance round (2 axes x
+  /// 2 ends x 2 signs).
+  static constexpr int kProbesPerRound = 8;
+
+  /// Total wall-clock duration of one round.
+  util::SimTimeUs round_duration() const {
+    return config_.probe_interval * kProbesPerRound;
+  }
+
+  /// Runs one maintenance round against the scene's *current* state via
+  /// `observe_power(voltages)` which the caller can wrap to advance time.
+  /// Returns the updated voltages.
+  template <typename ObserveFn>
+  sim::Voltages round(const sim::Voltages& current,
+                      const ObserveFn& observe_power) const {
+    sim::Voltages v = current;
+    double* channels[4] = {&v.tx1, &v.tx2, &v.rx1, &v.rx2};
+    for (double* channel : channels) {
+      const double saved = *channel;
+      *channel = clamp(saved + config_.dither_volts);
+      const double up = observe_power(v);
+      *channel = clamp(saved - config_.dither_volts);
+      const double down = observe_power(v);
+      *channel = saved;
+      if (!std::isfinite(up) && !std::isfinite(down)) continue;
+      const double gradient_sign = (up > down) ? 1.0 : -1.0;
+      // Step proportional to the observed dB difference, capped.
+      const double delta_db =
+          std::isfinite(up) && std::isfinite(down) ? std::abs(up - down) : 3.0;
+      const double step = std::min(1.0, delta_db / 3.0) * config_.gain *
+                          config_.dither_volts * gradient_sign;
+      *channel = clamp(saved + step);
+    }
+    return v;
+  }
+
+  const ProbeTpConfig& config() const noexcept { return config_; }
+
+ private:
+  double clamp(double x) const {
+    return std::clamp(x, -config_.max_voltage, config_.max_voltage);
+  }
+
+  ProbeTpConfig config_;
+};
+
+}  // namespace cyclops::core

@@ -1,0 +1,64 @@
+#include "core/tp_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclops::core {
+
+TpController::TpController(PointingSolver solver, TpConfig config,
+                           sim::Voltages initial_voltages)
+    : solver_(std::move(solver)),
+      config_(config),
+      commanded_(initial_voltages),
+      predictor_(config.predictor) {}
+
+std::optional<PendingCommand> TpController::on_report(
+    const tracking::PoseReport& report) {
+  ++reports_;
+
+  geom::Pose target_pose = report.pose;
+  if (config_.predict_pose) {
+    predictor_.update(report);
+    // Aim for where the headset will be when the voltages actually apply,
+    // half a report period past that on average.
+    const util::SimTimeUs apply_at =
+        report.delivery_time + util::us_from_s(config_.pointing_latency_s());
+    if (const auto predicted = predictor_.predict(apply_at + 6000)) {
+      target_pose = *predicted;
+    }
+  }
+
+  const PointingResult result = solver_.solve(target_pose, commanded_);
+  total_iterations_ += result.iterations;
+  if (!result.converged) {
+    ++failures_;
+    return std::nullopt;
+  }
+
+  sim::Voltages v = result.voltages;
+  v.tx1 = config_.daq.quantize(v.tx1);
+  v.tx2 = config_.daq.quantize(v.tx2);
+  v.rx1 = config_.daq.quantize(v.rx1);
+  v.rx2 = config_.daq.quantize(v.rx2);
+
+  // Settle time scales with the largest commanded step.
+  const double step = std::max(
+      {std::abs(v.tx1 - commanded_.tx1), std::abs(v.tx2 - commanded_.tx2),
+       std::abs(v.rx1 - commanded_.rx1), std::abs(v.rx2 - commanded_.rx2)});
+  commanded_ = v;
+
+  PendingCommand cmd;
+  cmd.apply_time =
+      report.delivery_time +
+      util::us_from_s(config_.daq.conversion_latency_s +
+                      config_.servo.settle_time_s(step) + config_.compute_s);
+  cmd.voltages = v;
+  return cmd;
+}
+
+double TpController::avg_pointing_iterations() const noexcept {
+  return reports_ > 0 ? static_cast<double>(total_iterations_) / reports_
+                      : 0.0;
+}
+
+}  // namespace cyclops::core

@@ -1,0 +1,79 @@
+// Real-time tracking-and-pointing controller.
+//
+// Event model per §5.2: the VRH-T delivers a pose report (12-13 ms
+// cadence, <1 ms control-channel latency); the controller computes P
+// (microseconds) and commands the DAQ, which quantizes the voltages and
+// applies them after its conversion latency (~1.5 ms) plus the GM's
+// small-angle settle time.  The controller itself never touches ground
+// truth — only reports and its learned pointing solver.
+#pragma once
+
+#include <optional>
+
+#include "core/pointing.hpp"
+#include "galvo/galvo_mirror.hpp"
+#include "tracking/predictor.hpp"
+#include "tracking/vrh_tracker.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::core {
+
+struct TpConfig {
+  galvo::Daq daq;
+  /// Servo settle model: small-angle latency plus a per-volt term for
+  /// large realignment steps.
+  galvo::ServoDynamics servo;
+  double gm_settle_s = 300e-6;
+  /// Upper bound used for accounting the pure P computation (the measured
+  /// value is benchmarked in bench/micro_pointing; it is ~microseconds).
+  double compute_s = 50e-6;
+  /// Extension (off by default = the paper's system): extrapolate the
+  /// pose to the voltage-application instant with a constant-velocity
+  /// Kalman predictor, cancelling most of the tracking-period + pointing
+  /// latency wall (bench/ablation_prediction).
+  bool predict_pose = false;
+  tracking::PredictorConfig predictor;
+
+  double pointing_latency_s() const noexcept {
+    return daq.conversion_latency_s + gm_settle_s + compute_s;
+  }
+};
+
+/// A voltage command scheduled for a future instant.
+struct PendingCommand {
+  util::SimTimeUs apply_time = 0;
+  sim::Voltages voltages;
+};
+
+class TpController {
+ public:
+  TpController(PointingSolver solver, TpConfig config,
+                sim::Voltages initial_voltages = {});
+
+  /// Handles one tracker report; returns the scheduled realignment (or
+  /// nullopt if the pointing iteration failed to converge).
+  std::optional<PendingCommand> on_report(const tracking::PoseReport& report);
+
+  /// Latest commanded voltages (what the GMs will hold after the pending
+  /// command applies).
+  const sim::Voltages& commanded() const noexcept { return commanded_; }
+
+  const TpConfig& config() const noexcept { return config_; }
+  const PointingSolver& solver() const noexcept { return solver_; }
+
+  /// Cumulative stats for the evaluation harness.
+  int reports_handled() const noexcept { return reports_; }
+  int failures() const noexcept { return failures_; }
+  double avg_pointing_iterations() const noexcept;
+
+ private:
+  PointingSolver solver_;
+  TpConfig config_;
+  sim::Voltages commanded_;
+  tracking::PosePredictor predictor_;
+  int reports_ = 0;
+  int failures_ = 0;
+  long total_iterations_ = 0;
+};
+
+}  // namespace cyclops::core

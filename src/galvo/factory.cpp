@@ -1,0 +1,59 @@
+#include "galvo/factory.hpp"
+
+#include "geom/mat3.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::galvo {
+namespace {
+
+/// Tilts `dir` by a random small rotation of magnitude ~sigma.
+geom::Vec3 jitter_direction(const geom::Vec3& dir, double sigma,
+                            util::Rng& rng) {
+  const geom::Vec3 axis =
+      geom::Vec3{rng.normal(), rng.normal(), rng.normal()}.normalized();
+  const double angle = rng.normal(0.0, sigma);
+  return (geom::Mat3::rotation(axis, angle) * dir).normalized();
+}
+
+geom::Vec3 jitter_position(const geom::Vec3& p, double sigma, util::Rng& rng) {
+  return p + geom::Vec3{rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+                        rng.normal(0.0, sigma)};
+}
+
+}  // namespace
+
+GalvoParams nominal_params() {
+  GalvoParams p;
+  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  // Collimator feeds mirror 1 from +x, 60 mm away, 30 mm below mirror 2.
+  p.p0 = {0.060, -0.030, 0.0};
+  p.x0 = {-1.0, 0.0, 0.0};
+  // Mirror 1 turns -x into +y; rotates about the local z axis.
+  p.q1 = {0.0, -0.030, 0.0};
+  p.n1 = geom::Vec3{-1.0, -1.0, 0.0} * inv_sqrt2;
+  p.r1 = {0.0, 0.0, 1.0};
+  // Mirror 2 (at the local origin) turns +y into -z; rotates about x.
+  p.q2 = {0.0, 0.0, 0.0};
+  p.n2 = geom::Vec3{0.0, 1.0, 1.0} * inv_sqrt2;
+  p.r2 = {1.0, 0.0, 0.0};
+  // 1 degree of mirror rotation per volt.
+  p.theta1 = util::deg_to_rad(1.0);
+  return p;
+}
+
+GalvoParams perturbed_params(const GalvoParams& nominal,
+                             const AssemblyTolerances& tol, util::Rng& rng) {
+  GalvoParams p = nominal;
+  p.p0 = jitter_position(nominal.p0, tol.position_sigma, rng);
+  p.x0 = jitter_direction(nominal.x0, tol.direction_sigma_rad, rng);
+  p.q1 = jitter_position(nominal.q1, tol.position_sigma, rng);
+  p.n1 = jitter_direction(nominal.n1, tol.direction_sigma_rad, rng);
+  p.r1 = jitter_direction(nominal.r1, tol.direction_sigma_rad, rng);
+  p.q2 = jitter_position(nominal.q2, tol.position_sigma, rng);
+  p.n2 = jitter_direction(nominal.n2, tol.direction_sigma_rad, rng);
+  p.r2 = jitter_direction(nominal.r2, tol.direction_sigma_rad, rng);
+  p.theta1 = nominal.theta1 * (1.0 + rng.normal(0.0, tol.theta1_relative_sigma));
+  return p;
+}
+
+}  // namespace cyclops::galvo

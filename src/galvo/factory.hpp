@@ -1,0 +1,30 @@
+// Construction of nominal (CAD) and manufactured (perturbed) galvo units.
+//
+// The nominal geometry plays the role of the manufacturer's CAD drawing:
+// it seeds the Stage-1 optimizer's initial guess.  A "manufactured" unit is
+// the nominal geometry plus assembly tolerances — the ground truth the
+// learner must recover without ever being told the perturbations.
+#pragma once
+
+#include "galvo/galvo_mirror.hpp"
+#include "util/rng.hpp"
+
+namespace cyclops::galvo {
+
+/// Nominal GVS102-style geometry in the GMA's local (K-space-like) frame:
+/// the output beam at zero voltage leaves mirror 2 (at the local origin)
+/// along -z; the collimator feeds mirror 1 from the +x side.
+GalvoParams nominal_params();
+
+/// Assembly tolerances applied by perturbed_params.
+struct AssemblyTolerances {
+  double position_sigma = 1.0e-3;   ///< p0/q1/q2 jitter (m).
+  double direction_sigma_rad = 8.7e-3;  ///< x0/n/r tilt (~0.5 deg).
+  double theta1_relative_sigma = 0.02;  ///< Gain error (2 %).
+};
+
+/// A manufactured unit: nominal + random assembly error.
+GalvoParams perturbed_params(const GalvoParams& nominal,
+                             const AssemblyTolerances& tol, util::Rng& rng);
+
+}  // namespace cyclops::galvo

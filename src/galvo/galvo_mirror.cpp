@@ -1,0 +1,98 @@
+#include "galvo/galvo_mirror.hpp"
+
+#include <cmath>
+
+#include "geom/mat3.hpp"
+#include "geom/reflect.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::galvo {
+
+std::array<double, GalvoParams::kParamCount> GalvoParams::pack() const {
+  return {p0.x, p0.y, p0.z, x0.x, x0.y, x0.z, n1.x, n1.y, n1.z,
+          q1.x, q1.y, q1.z, r1.x, r1.y, r1.z, n2.x, n2.y, n2.z,
+          q2.x, q2.y, q2.z, r2.x, r2.y, r2.z, theta1};
+}
+
+GalvoParams GalvoParams::unpack(
+    const std::array<double, kParamCount>& v) {
+  GalvoParams p;
+  p.p0 = {v[0], v[1], v[2]};
+  p.x0 = geom::Vec3{v[3], v[4], v[5]}.normalized();
+  p.n1 = geom::Vec3{v[6], v[7], v[8]}.normalized();
+  p.q1 = {v[9], v[10], v[11]};
+  p.r1 = geom::Vec3{v[12], v[13], v[14]}.normalized();
+  p.n2 = geom::Vec3{v[15], v[16], v[17]}.normalized();
+  p.q2 = {v[18], v[19], v[20]};
+  p.r2 = geom::Vec3{v[21], v[22], v[23]}.normalized();
+  p.theta1 = v[24];
+  return p;
+}
+
+GalvoSpec gvs102_spec() { return {}; }
+
+GalvoMirror::GalvoMirror(GalvoParams params, GalvoSpec spec)
+    : params_(std::move(params)), spec_(spec) {}
+
+geom::Plane GalvoMirror::mirror1_plane(double v1) const {
+  const geom::Mat3 rot = geom::Mat3::rotation(params_.r1, params_.theta1 * v1);
+  return {params_.q1, rot * params_.n1};
+}
+
+geom::Plane GalvoMirror::mirror2_plane(double v2) const {
+  const geom::Mat3 rot = geom::Mat3::rotation(params_.r2, params_.theta1 * v2);
+  return {params_.q2, rot * params_.n2};
+}
+
+std::optional<geom::Ray> trace_ideal(const GalvoParams& params, double v1,
+                                     double v2) {
+  // Mirror intersections here use the *algebraic* (non-forward-only)
+  // ray/plane solution: the closed-form G of §4.1 is a total function of
+  // the voltages, and the learned parameter estimates must stay evaluable
+  // while the optimizer explores (or mildly extrapolates beyond) the
+  // trained region.  The physical device model (GalvoMirror::trace)
+  // enforces real forward propagation and apertures instead.
+  const auto reflect_algebraic =
+      [](const geom::Ray& ray,
+         const geom::Plane& mirror) -> std::optional<geom::Ray> {
+    const auto t = geom::intersect(ray, mirror, /*forward_only=*/false);
+    if (!t) return std::nullopt;
+    const geom::Vec3 n = mirror.normal.normalized();
+    return geom::Ray{ray.at(*t), geom::reflect_dir(ray.dir, n)};
+  };
+
+  const geom::Ray input{params.p0, params.x0.normalized()};
+  const geom::Mat3 rot1 = geom::Mat3::rotation(params.r1, params.theta1 * v1);
+  const geom::Plane m1{params.q1, rot1 * params.n1};
+  const auto mid = reflect_algebraic(input, m1);
+  if (!mid) return std::nullopt;
+  const geom::Mat3 rot2 = geom::Mat3::rotation(params.r2, params.theta1 * v2);
+  const geom::Plane m2{params.q2, rot2 * params.n2};
+  return reflect_algebraic(*mid, m2);
+}
+
+std::optional<geom::Ray> GalvoMirror::trace(double v1, double v2) const {
+  if (!voltage_in_range(v1) || !voltage_in_range(v2)) return std::nullopt;
+  const geom::Ray input{params_.p0, params_.x0.normalized()};
+
+  const geom::Plane m1 = mirror1_plane(v1);
+  const auto mid = geom::reflect(input, m1);
+  if (!mid) return std::nullopt;
+  if (geom::distance(mid->origin, params_.q1) > spec_.mirror_radius) {
+    return std::nullopt;  // clipped by mirror 1
+  }
+
+  const geom::Plane m2 = mirror2_plane(v2);
+  const auto out = geom::reflect(*mid, m2);
+  if (!out) return std::nullopt;
+  if (geom::distance(out->origin, params_.q2) > spec_.mirror_radius) {
+    return std::nullopt;  // clipped by mirror 2
+  }
+  return out;
+}
+
+double Daq::quantize(double v) const noexcept {
+  return std::round(v / quantization_step) * quantization_step;
+}
+
+}  // namespace cyclops::galvo

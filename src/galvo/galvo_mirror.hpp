@@ -1,0 +1,108 @@
+// Physical model of a two-axis galvo mirror (GM), e.g. the ThorLabs GVS102.
+//
+// This is the *ground truth* device the learning pipeline in src/core must
+// recover: the same parameterization as the paper's §4.1 — input beam
+// (p0, x0), per-mirror plane (n_i, q_i) and rotation axis (r_i), and the
+// voltage-to-angle gain theta1 shared by both mirrors:
+//
+//   n_i' = R(r_i, theta1 * v_i) * n_i
+//   (p_mid, x_mid) = reflect(p0, x0 | n_1', q_1)
+//   (p,     x    ) = reflect(p_mid, x_mid | n_2', q_2)
+//
+// Note the output origin p lies on mirror 2 and moves with the voltages —
+// the "distortion" effect [58] the paper insists must be modeled.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+
+namespace cyclops::galvo {
+
+/// The paper's GMA parameter set (Fig 7).
+struct GalvoParams {
+  geom::Vec3 p0;  ///< Input-beam origin (collimator output).
+  geom::Vec3 x0;  ///< Input-beam direction (unit).
+  geom::Vec3 n1;  ///< Mirror-1 normal at zero voltage (unit).
+  geom::Vec3 q1;  ///< Point on mirror 1's plane and rotation axis.
+  geom::Vec3 r1;  ///< Mirror-1 rotation-axis direction (unit).
+  geom::Vec3 n2;  ///< Mirror-2 normal at zero voltage (unit).
+  geom::Vec3 q2;  ///< Point on mirror 2's plane and rotation axis.
+  geom::Vec3 r2;  ///< Mirror-2 rotation-axis direction (unit).
+  double theta1 = 0.0;  ///< Mirror rotation per volt (rad/V), same for both.
+
+  /// Flat 25-double encoding for the Stage-1 optimizer.
+  static constexpr std::size_t kParamCount = 25;
+  std::array<double, kParamCount> pack() const;
+  static GalvoParams unpack(const std::array<double, kParamCount>& values);
+};
+
+/// Operating limits of the steering hardware.
+struct GalvoSpec {
+  double max_voltage = 10.0;        ///< |v| limit (V).
+  double min_voltage_step = 1e-3;   ///< Smallest commanded step (V).
+  double mirror_radius = 12e-3;     ///< Clear radius of each mirror (m).
+  double small_angle_settle_s = 300e-6;  ///< GVS102 small-angle latency.
+  double angular_accuracy_rad = 10e-6;   ///< GVS102 pointing accuracy.
+};
+
+/// GVS102-like defaults.
+GalvoSpec gvs102_spec();
+
+class GalvoMirror {
+ public:
+  GalvoMirror(GalvoParams params, GalvoSpec spec);
+
+  const GalvoParams& params() const noexcept { return params_; }
+  const GalvoSpec& spec() const noexcept { return spec_; }
+
+  /// Mirror planes for the given voltages (normals rotated per model).
+  geom::Plane mirror1_plane(double v1) const;
+  geom::Plane mirror2_plane(double v2) const;
+
+  /// Traces the input beam through both mirrors.  Returns the output beam
+  /// (origin on mirror 2), or nullopt if the beam misses a mirror plane,
+  /// falls outside a mirror's clear radius, or a voltage is out of range.
+  std::optional<geom::Ray> trace(double v1, double v2) const;
+
+  bool voltage_in_range(double v) const noexcept {
+    return v >= -spec_.max_voltage && v <= spec_.max_voltage;
+  }
+
+ private:
+  GalvoParams params_;
+  GalvoSpec spec_;
+};
+
+/// Ideal two-mirror trace with no aperture or voltage-range checks — the
+/// pure §4.1 G function.  Used by the *learned* model (which has no notion
+/// of clear apertures) and shared with the physical device's trace.
+std::optional<geom::Ray> trace_ideal(const GalvoParams& params, double v1,
+                                     double v2);
+
+/// DAQ between the controller and the galvo servos: quantizes commanded
+/// voltages and contributes most of the 1-2 ms pointing latency (§5.2).
+struct Daq {
+  double quantization_step = 20.0 / 65536.0;  ///< 16-bit over +/-10 V.
+  double conversion_latency_s = 1.5e-3;
+
+  double quantize(double v) const noexcept;
+};
+
+/// Servo settle dynamics: the GVS102's quoted 300 us is its *small-angle*
+/// latency; large steps take longer (full-scale steps approach
+/// milliseconds).  Linear model: settle = small_angle + slope * |step|.
+struct ServoDynamics {
+  double small_angle_settle_s = 300e-6;
+  /// Extra settle per volt of commanded step (GVS102-class: ~60 us/V).
+  double settle_per_volt_s = 60e-6;
+
+  double settle_time_s(double step_volts) const noexcept {
+    const double magnitude = step_volts < 0.0 ? -step_volts : step_volts;
+    return small_angle_settle_s + settle_per_volt_s * magnitude;
+  }
+};
+
+}  // namespace cyclops::galvo

@@ -1,0 +1,59 @@
+// Rigid 6-DoF transforms (SE(3)).
+//
+// A Pose maps coordinates in its *local* frame into the *parent* frame:
+// world_point = pose.apply(local_point).  The 6-parameter vector form
+// (rotation-vector + translation) is what the Stage-2 "mapping parameters"
+// optimizer estimates — 6 per GMA, 12 total, exactly as in §4.2.
+#pragma once
+
+#include <array>
+
+#include "geom/mat3.hpp"
+#include "geom/quat.hpp"
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+
+namespace cyclops::geom {
+
+class Pose {
+ public:
+  Pose() = default;
+  Pose(const Mat3& rotation, const Vec3& translation)
+      : r_(rotation), t_(translation) {}
+
+  static Pose identity() { return {}; }
+  static Pose from_quat(const Quat& q, const Vec3& translation) {
+    return {q.to_matrix(), translation};
+  }
+  /// Builds from the 6-parameter vector [rx, ry, rz, tx, ty, tz] where
+  /// (rx, ry, rz) is a rotation vector (axis * angle).
+  static Pose from_params(const std::array<double, 6>& p);
+
+  const Mat3& rotation() const { return r_; }
+  const Vec3& translation() const { return t_; }
+  Quat rotation_quat() const { return Quat::from_matrix(r_); }
+
+  /// The 6-parameter vector form (inverse of from_params).
+  std::array<double, 6> params() const;
+
+  Vec3 apply(const Vec3& p) const { return r_ * p + t_; }
+  Vec3 apply_dir(const Vec3& d) const { return r_ * d; }
+  Ray apply(const Ray& ray) const { return {apply(ray.origin), apply_dir(ray.dir)}; }
+  Plane apply(const Plane& pl) const { return {apply(pl.point), apply_dir(pl.normal)}; }
+
+  Pose inverse() const;
+  /// Composition: (a * b).apply(p) == a.apply(b.apply(p)).
+  Pose operator*(const Pose& o) const;
+
+ private:
+  Mat3 r_;
+  Vec3 t_;
+};
+
+/// Translation distance between two poses.
+double translation_distance(const Pose& a, const Pose& b);
+
+/// Rotation angle between two poses' orientations, radians.
+double rotation_distance(const Pose& a, const Pose& b);
+
+}  // namespace cyclops::geom

@@ -1,0 +1,59 @@
+// Rays and planes — the optical beam in Cyclops is traced as a chief ray
+// (origin point p + unit direction x⃗, the paper's (p, x⃗) beam spec).
+#pragma once
+
+#include <optional>
+
+#include "geom/vec3.hpp"
+
+namespace cyclops::geom {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;  ///< Unit direction.
+
+  Vec3 at(double t) const { return origin + dir * t; }
+};
+
+/// Plane through `point` with unit `normal`.
+struct Plane {
+  Vec3 point;
+  Vec3 normal;
+
+  /// Signed distance from p to the plane (positive on the normal side).
+  double signed_distance(const Vec3& p) const {
+    return (p - point).dot(normal);
+  }
+};
+
+/// Ray/plane intersection parameter t (ray.at(t) is on the plane), or
+/// nullopt if the ray is (near-)parallel to the plane or hits behind the
+/// origin when forward_only is set.
+std::optional<double> intersect(const Ray& ray, const Plane& plane,
+                                bool forward_only = true);
+
+/// Point on the ray closest to p.
+Vec3 closest_point(const Ray& ray, const Vec3& p);
+
+/// Distance between a point and the infinite line through the ray.
+double line_point_distance(const Ray& ray, const Vec3& p);
+
+inline std::optional<double> intersect(const Ray& ray, const Plane& plane,
+                                       bool forward_only) {
+  const double denom = ray.dir.dot(plane.normal);
+  if (std::abs(denom) < 1e-12) return std::nullopt;
+  const double t = (plane.point - ray.origin).dot(plane.normal) / denom;
+  if (forward_only && t < 0.0) return std::nullopt;
+  return t;
+}
+
+inline Vec3 closest_point(const Ray& ray, const Vec3& p) {
+  const double t = (p - ray.origin).dot(ray.dir);
+  return ray.at(t);
+}
+
+inline double line_point_distance(const Ray& ray, const Vec3& p) {
+  return distance(closest_point(ray, p), p);
+}
+
+}  // namespace cyclops::geom

@@ -1,0 +1,17 @@
+#include "geom/reflect.hpp"
+
+namespace cyclops::geom {
+
+Vec3 reflect_dir(const Vec3& dir, const Vec3& unit_normal) {
+  return dir - unit_normal * (2.0 * dir.dot(unit_normal));
+}
+
+std::optional<Ray> reflect(const Ray& incoming, const Plane& mirror) {
+  const auto t = intersect(incoming, mirror);
+  if (!t) return std::nullopt;
+  const Vec3 hit = incoming.at(*t);
+  const Vec3 n = mirror.normal.normalized();
+  return Ray{hit, reflect_dir(incoming.dir, n)};
+}
+
+}  // namespace cyclops::geom

@@ -1,0 +1,60 @@
+// 3-vector used for points, directions, and rotation axes.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace cyclops::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in this direction.  Undefined for the zero vector.
+  Vec3 normalized() const {
+    const double n = norm();
+    return {x / n, y / n, z / n};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Angle between two (not necessarily unit) vectors, in [0, pi].
+inline double angle_between(const Vec3& a, const Vec3& b) {
+  const double c = a.dot(b) / (a.norm() * b.norm());
+  return std::acos(c < -1.0 ? -1.0 : (c > 1.0 ? 1.0 : c));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// An arbitrary unit vector orthogonal to v (v must be nonzero).
+inline Vec3 any_orthogonal(const Vec3& v) {
+  const Vec3 axis = std::abs(v.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  return v.cross(axis).normalized();
+}
+
+}  // namespace cyclops::geom

@@ -1,0 +1,109 @@
+#include "link/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclops::link {
+namespace {
+
+std::vector<geom::Vec3> head_samples(const RoomConfig& room) {
+  std::vector<geom::Vec3> samples;
+  for (double x = 0.0; x <= room.width + 1e-9; x += room.grid_pitch) {
+    for (double z = 0.0; z <= room.depth + 1e-9; z += room.grid_pitch) {
+      for (double y :
+           {room.head_height_min,
+            0.5 * (room.head_height_min + room.head_height_max),
+            room.head_height_max}) {
+        samples.push_back({x, y, z});
+      }
+    }
+  }
+  return samples;
+}
+
+std::vector<geom::Vec3> ceiling_candidates(const RoomConfig& room) {
+  std::vector<geom::Vec3> candidates;
+  for (double x = 0.0; x <= room.width + 1e-9; x += room.grid_pitch) {
+    for (double z = 0.0; z <= room.depth + 1e-9; z += room.grid_pitch) {
+      candidates.push_back({x, room.ceiling_height, z});
+    }
+  }
+  return candidates;
+}
+
+int covering_count(const std::vector<geom::Vec3>& txs,
+                   const geom::Vec3& head, const RoomConfig& room) {
+  int n = 0;
+  for (const auto& tx : txs) {
+    if (tx_covers(tx, head, room)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool tx_covers(const geom::Vec3& tx, const geom::Vec3& head,
+               const RoomConfig& room) {
+  const geom::Vec3 to_head = head - tx;
+  const double range = to_head.norm();
+  if (range > room.max_range || range < 1e-6) return false;
+  // Boresight straight down.
+  const double angle = geom::angle_between(to_head, {0.0, -1.0, 0.0});
+  return angle <= room.tx_cone_half_angle;
+}
+
+double coverage_fraction(const std::vector<geom::Vec3>& tx_positions,
+                         const RoomConfig& room) {
+  const auto heads = head_samples(room);
+  if (heads.empty()) return 0.0;
+  int covered = 0;
+  for (const auto& head : heads) {
+    if (covering_count(tx_positions, head, room) >= room.min_coverage) {
+      ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(heads.size());
+}
+
+CoveragePlan plan_coverage(const RoomConfig& room) {
+  const auto heads = head_samples(room);
+  const auto candidates = ceiling_candidates(room);
+
+  CoveragePlan plan;
+  plan.head_samples = static_cast<int>(heads.size());
+
+  // need[i] = how many more covering TXs head i requires.
+  std::vector<int> need(heads.size(), room.min_coverage);
+  auto remaining = [&] {
+    return std::count_if(need.begin(), need.end(),
+                         [](int n) { return n > 0; });
+  };
+
+  while (remaining() > 0) {
+    // Pick the candidate that satisfies the most outstanding demand.
+    std::size_t best = candidates.size();
+    long best_gain = 0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      long gain = 0;
+      for (std::size_t h = 0; h < heads.size(); ++h) {
+        if (need[h] > 0 && tx_covers(candidates[c], heads[h], room)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best == candidates.size()) break;  // nothing helps (unreachable spots)
+    plan.tx_positions.push_back(candidates[best]);
+    for (std::size_t h = 0; h < heads.size(); ++h) {
+      if (need[h] > 0 && tx_covers(candidates[best], heads[h], room)) {
+        --need[h];
+      }
+    }
+  }
+
+  plan.covered_fraction = coverage_fraction(plan.tx_positions, room);
+  return plan;
+}
+
+}  // namespace cyclops::link

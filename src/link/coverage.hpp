@@ -1,0 +1,55 @@
+// Room-scale coverage planning for multi-TX deployments (§3: "to
+// circumvent occasional occlusions and/or limited field-of-view coverage
+// of the GMs, we can use multiple TXs on the ceiling").
+//
+// A ceiling TX covers a head position when the line of sight falls inside
+// the TX galvo's steering cone (the GM scans ±2·theta1·Vmax about the
+// downward boresight).  The planner greedily places TXs on a ceiling grid
+// until every head-height sample is covered by `min_coverage` distinct
+// TXs (redundancy >= 2 rides out single-beam occlusions).
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace cyclops::link {
+
+struct RoomConfig {
+  double width = 4.0;        ///< x extent (m).
+  double depth = 4.0;        ///< z extent (m).
+  double ceiling_height = 2.6;
+  /// Head positions to cover: a horizontal band at these heights.
+  double head_height_min = 1.0;
+  double head_height_max = 1.8;
+  /// TX steering half-cone (rad); GVS102 at 1 deg/V, ±10 V -> ±20 deg
+  /// of beam deflection.
+  double tx_cone_half_angle = 0.349;
+  /// Candidate/evaluation grid pitch (m).
+  double grid_pitch = 0.25;
+  /// Required number of covering TXs per head position.
+  int min_coverage = 1;
+  /// Maximum usable link range (m) — link-budget limited.
+  double max_range = 3.0;
+};
+
+struct CoveragePlan {
+  std::vector<geom::Vec3> tx_positions;
+  /// Fraction of head samples with >= min_coverage covering TXs.
+  double covered_fraction = 0.0;
+  int head_samples = 0;
+};
+
+/// True when a TX at `tx` (on the ceiling, boresight straight down) can
+/// steer its beam to `head`.
+bool tx_covers(const geom::Vec3& tx, const geom::Vec3& head,
+               const RoomConfig& room);
+
+/// Coverage achieved by a given TX set.
+double coverage_fraction(const std::vector<geom::Vec3>& tx_positions,
+                         const RoomConfig& room);
+
+/// Greedy placement until full coverage (or no candidate helps).
+CoveragePlan plan_coverage(const RoomConfig& room);
+
+}  // namespace cyclops::link

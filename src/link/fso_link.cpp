@@ -1,0 +1,161 @@
+#include "link/fso_link.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <cmath>
+#include <limits>
+
+#include "core/exhaustive_aligner.hpp"
+
+namespace cyclops::link {
+
+bool LinkStateMachine::step(util::SimTimeUs now, double power_dbm) {
+  const bool light = power_dbm >= sensitivity_dbm_;
+  if (!light) {
+    up_ = false;
+    light_ = false;
+    return false;
+  }
+  if (!light_) {
+    light_ = true;
+    light_since_ = now;
+  }
+  if (!up_ && now - light_since_ >= link_up_delay_) up_ = true;
+  return up_;
+}
+
+RunResult run_link_simulation(sim::Prototype& proto,
+                              core::TpController& controller,
+                              const motion::MotionProfile& profile,
+                              const SimOptions& options) {
+  RunResult result;
+  const optics::SfpSpec& sfp = proto.scene.config().sfp;
+  LinkStateMachine state(sfp.rx_sensitivity_dbm,
+                         util::us_from_s(sfp.link_up_delay_s));
+
+  // Applied GM voltages (what the hardware currently holds).  Commands
+  // pipeline through the DAQ: each applies at its own time even when the
+  // report period is shorter than the conversion latency.
+  sim::Voltages applied{};
+  std::deque<core::PendingCommand> pending;
+
+  proto.scene.set_rig_pose(profile.pose_at(0));
+  if (options.align_at_start) {
+    // §5.3 protocol: each run starts from an aligned link.
+    const core::PointingResult initial = controller.solver().solve(
+        proto.tracker.ideal_report(proto.scene.rig_pose()), applied);
+    applied = initial.voltages;
+    core::ExhaustiveAligner polish;
+    applied = polish.align(proto.scene, applied).voltages;
+    state.force_up();
+  }
+
+  const auto duration = util::us_from_s(profile.duration_s());
+  proto.tracker.reset_schedule();  // simulation time restarts at 0
+  util::SimTimeUs next_report = proto.tracker.next_capture_time(0);
+
+  // Window accumulators.
+  util::SimTimeUs window_start = 0;
+  double window_up_time = 0.0;
+  double window_power_sum = 0.0;
+  double window_min_power = std::numeric_limits<double>::infinity();
+  double window_min_power_all = std::numeric_limits<double>::infinity();
+  int window_power_ok_slots = 0;
+  int window_up_slots = 0;
+  int window_slots = 0;
+
+  double total_up = 0.0;
+  int total_slots = 0;
+
+  for (util::SimTimeUs now = 0; now < duration; now += options.step) {
+    const geom::Pose pose = profile.pose_at(now);
+    proto.scene.set_rig_pose(pose);
+
+    // Tracker report?
+    if (now >= next_report) {
+      const util::SimTimeUs lag =
+          util::us_from_ms(proto.tracker.config().position_lag_ms);
+      const geom::Pose lagged =
+          profile.pose_at(now > lag ? now - lag : 0);
+      const tracking::PoseReport report =
+          proto.tracker.report(now, pose, lagged);
+      if (!report.lost) {
+        if (auto cmd = controller.on_report(report)) {
+          pending.push_back(*cmd);
+          ++result.realignments;
+        }
+      }
+      next_report = proto.tracker.next_capture_time(now);
+    }
+    // Apply pending realignments once their latency has elapsed.
+    while (!pending.empty() && now >= pending.front().apply_time) {
+      applied = pending.front().voltages;
+      pending.pop_front();
+    }
+
+    const double power = proto.scene.received_power_dbm(applied);
+    const bool up = state.step(now, power);
+    if (options.on_slot) options.on_slot(now, up, power);
+
+    ++window_slots;
+    ++total_slots;
+    window_min_power_all = std::min(window_min_power_all, power);
+    if (power >= sfp.rx_sensitivity_dbm) ++window_power_ok_slots;
+    if (up) {
+      window_up_time += util::us_to_s(options.step);
+      ++window_up_slots;
+      total_up += 1.0;
+      window_power_sum += power;
+      window_min_power = std::min(window_min_power, power);
+    }
+
+    if ((now + options.step) % options.window < options.step ||
+        now + options.step >= duration) {
+      WindowSample sample;
+      sample.t_s = util::us_to_s(window_start);
+      const motion::Speeds speeds =
+          motion::measure_speeds(profile, window_start + options.window / 2);
+      sample.linear_speed_mps = speeds.linear_mps;
+      sample.angular_speed_rps = speeds.angular_rps;
+      sample.up_fraction =
+          window_slots > 0
+              ? static_cast<double>(window_up_slots) / window_slots
+              : 0.0;
+      sample.throughput_gbps = sample.up_fraction * sfp.goodput_gbps;
+      sample.avg_power_dbm =
+          window_up_slots > 0
+              ? window_power_sum / window_up_slots
+              : -std::numeric_limits<double>::infinity();
+      sample.min_power_dbm =
+          window_up_slots > 0
+              ? window_min_power
+              : -std::numeric_limits<double>::infinity();
+      sample.min_power_all_dbm =
+          window_slots > 0
+              ? window_min_power_all
+              : -std::numeric_limits<double>::infinity();
+      sample.power_ok_fraction =
+          window_slots > 0
+              ? static_cast<double>(window_power_ok_slots) / window_slots
+              : 0.0;
+      result.windows.push_back(sample);
+
+      window_start = now + options.step;
+      window_up_time = 0.0;
+      window_power_sum = 0.0;
+      window_min_power = std::numeric_limits<double>::infinity();
+      window_min_power_all = std::numeric_limits<double>::infinity();
+      window_power_ok_slots = 0;
+      window_up_slots = 0;
+      window_slots = 0;
+    }
+  }
+
+  result.total_up_fraction =
+      total_slots > 0 ? total_up / total_slots : 0.0;
+  result.tp_failures = controller.failures();
+  result.avg_pointing_iterations = controller.avg_pointing_iterations();
+  return result;
+}
+
+}  // namespace cyclops::link

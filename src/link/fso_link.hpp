@@ -1,0 +1,80 @@
+// Closed-loop FSO link simulation: rig motion + VRH-T reports + TP
+// realignment + optics + SFP link-state machine, stepped at sub-ms
+// resolution.  This is the engine behind Figs 13-15.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/tp_controller.hpp"
+#include "motion/profile.hpp"
+#include "sim/prototype.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::link {
+
+struct SimOptions {
+  util::SimTimeUs step = 500;        ///< Physics step (0.5 ms).
+  util::SimTimeUs window = 50000;    ///< Throughput window (50 ms, §5.3).
+  /// Start from a perfectly aligned link (the §5.3 test protocol).
+  bool align_at_start = true;
+  /// Optional per-step observer: (time, traffic flows?, received power).
+  /// Lets higher layers (e.g. the VR frame streamer) ride the simulation.
+  std::function<void(util::SimTimeUs, bool, double)> on_slot;
+};
+
+/// One measurement window (the iperf/50 ms rows of Figs 13-15).
+struct WindowSample {
+  double t_s = 0.0;
+  double throughput_gbps = 0.0;
+  double avg_power_dbm = 0.0;   ///< Mean over up-slots; -inf if none.
+  double min_power_dbm = 0.0;   ///< Min over up-slots; -inf if none.
+  /// Min over *all* slots in the window — measures alignment capability
+  /// independent of the SFP re-acquisition state machine.
+  double min_power_all_dbm = 0.0;
+  /// Fraction of the window's slots whose raw power meets the RX
+  /// sensitivity (also re-acquisition-independent).
+  double power_ok_fraction = 0.0;
+  double linear_speed_mps = 0.0;
+  double angular_speed_rps = 0.0;
+  double up_fraction = 0.0;
+};
+
+struct RunResult {
+  std::vector<WindowSample> windows;
+  double total_up_fraction = 0.0;
+  int realignments = 0;
+  int tp_failures = 0;
+  double avg_pointing_iterations = 0.0;
+};
+
+/// SFP/NIC link-state machine: the link is usable while power >= RX
+/// sensitivity; after any drop it needs `link_up_delay` of continuous
+/// light before traffic flows again (§5.3: "takes a few seconds to
+/// regain the link").
+class LinkStateMachine {
+ public:
+  LinkStateMachine(double sensitivity_dbm, util::SimTimeUs link_up_delay)
+      : sensitivity_dbm_(sensitivity_dbm), link_up_delay_(link_up_delay) {}
+
+  /// Feeds one power observation; returns whether traffic flows now.
+  bool step(util::SimTimeUs now, double power_dbm);
+
+  bool up() const noexcept { return up_; }
+  void force_up() noexcept { up_ = true; }
+
+ private:
+  double sensitivity_dbm_;
+  util::SimTimeUs link_up_delay_;
+  bool up_ = false;
+  bool light_ = false;
+  util::SimTimeUs light_since_ = 0;
+};
+
+/// Runs the closed loop for the duration of `profile`.
+RunResult run_link_simulation(sim::Prototype& proto,
+                              core::TpController& controller,
+                              const motion::MotionProfile& profile,
+                              const SimOptions& options = {});
+
+}  // namespace cyclops::link

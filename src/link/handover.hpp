@@ -1,0 +1,48 @@
+// Multi-TX handover (§3): several ceiling transmitters cover occlusions
+// and the GMs' limited field of view; the manager keeps the best usable
+// TX active with hysteresis, paying a switch delay (re-pointing + SFP
+// re-acquisition on the new TX).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/sim_clock.hpp"
+
+namespace cyclops::link {
+
+struct HandoverConfig {
+  /// New TX must beat the active one by this much to trigger a switch.
+  double hysteresis_db = 3.0;
+  /// Power below which the active TX is considered lost (e.g. the SFP
+  /// sensitivity) and an immediate switch is allowed.
+  double drop_threshold_dbm = -25.0;
+  /// Time to re-point and re-acquire on the new TX.
+  double switch_delay_s = 0.2;
+};
+
+class HandoverManager {
+ public:
+  HandoverManager(std::size_t num_tx, HandoverConfig config)
+      : config_(config), num_tx_(num_tx) {}
+
+  /// Feeds the per-TX achievable powers for this instant; returns the
+  /// index of the serving TX, or -1 while a switch is in progress.
+  int step(util::SimTimeUs now, std::span<const double> powers_dbm);
+
+  int active() const noexcept { return active_; }
+  int switches() const noexcept { return switches_; }
+  bool switching(util::SimTimeUs now) const noexcept {
+    return now < switch_done_;
+  }
+
+ private:
+  HandoverConfig config_;
+  std::size_t num_tx_;
+  int active_ = 0;
+  int switches_ = 0;
+  util::SimTimeUs switch_done_ = 0;
+};
+
+}  // namespace cyclops::link

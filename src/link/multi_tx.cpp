@@ -1,0 +1,101 @@
+#include "link/multi_tx.hpp"
+
+#include <algorithm>
+
+namespace cyclops::link {
+
+TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
+                      const sim::PrototypeConfig& base_config) {
+  sim::PrototypeConfig config = base_config;
+  config.tx_position = tx_position;
+  sim::Prototype proto = sim::make_prototype(seed, config);
+  util::Rng rng(seed * 2654435761ULL + 1);
+  core::CalibrationResult calibration =
+      core::calibrate_prototype(proto, core::CalibrationConfig{}, rng);
+  return TxChain(std::move(proto), std::move(calibration));
+}
+
+MultiTxResult run_multi_tx_session(
+    std::vector<TxChain>& chains, const motion::MotionProfile& profile,
+    const MultiTxConfig& config,
+    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion) {
+  MultiTxResult result;
+  if (chains.empty()) return result;
+
+  HandoverManager manager(chains.size(), config.handover);
+  const double sensitivity =
+      chains.front().proto.scene.config().sfp.rx_sensitivity_dbm;
+  const auto duration = util::us_from_s(profile.duration_s());
+  const auto report_period = util::us_from_ms(config.report_period_ms);
+  const auto lag = util::us_from_ms(
+      chains.front().proto.tracker.config().position_lag_ms);
+
+  // A TP controller per chain so latency/prediction semantics match the
+  // single-TX simulator.
+  std::vector<core::TpController> controllers;
+  controllers.reserve(chains.size());
+  for (auto& chain : chains) {
+    controllers.emplace_back(chain.solver, config.tp);
+  }
+  std::vector<std::optional<core::PendingCommand>> pending(chains.size());
+
+  std::vector<int> usable(chains.size(), 0);
+  int slots = 0, served = 0;
+  util::SimTimeUs next_report = 0;
+  std::vector<double> powers(chains.size());
+
+  for (util::SimTimeUs now = 0; now < duration; now += config.step) {
+    const geom::Pose pose = profile.pose_at(now);
+    const geom::Pose lagged = profile.pose_at(now > lag ? now - lag : 0);
+    const bool do_report = now >= next_report;
+    if (do_report) next_report = now + report_period;
+
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      TxChain& chain = chains[i];
+      chain.proto.scene.set_rig_pose(pose);
+      chain.proto.scene.clear_occluders();
+      if (occlusion && occlusion(now, i)) {
+        const geom::Vec3 mid =
+            (chain.proto.scene.tx().mount().translation() +
+             pose.translation()) *
+            0.5;
+        chain.proto.scene.add_occluder({mid, 0.25});
+      }
+      if (do_report) {
+        tracking::PoseReport report =
+            chain.proto.tracker.report(now, pose, lagged);
+        if (!report.lost) {
+          if (auto cmd = controllers[i].on_report(report)) pending[i] = cmd;
+        }
+      }
+      if (pending[i] && now >= pending[i]->apply_time) {
+        chain.voltages = pending[i]->voltages;
+        pending[i].reset();
+      }
+      powers[i] = chain.proto.scene.received_power_dbm(chain.voltages);
+      if (powers[i] >= sensitivity) ++usable[i];
+    }
+
+    const int serving = manager.step(now, powers);
+    ++slots;
+    if (serving >= 0 &&
+        powers[static_cast<std::size_t>(serving)] >= sensitivity) {
+      ++served;
+    }
+  }
+
+  result.served_fraction =
+      slots > 0 ? static_cast<double>(served) / slots : 0.0;
+  result.switches = manager.switches();
+  result.per_tx_usable_fraction.reserve(chains.size());
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const double fraction =
+        slots > 0 ? static_cast<double>(usable[i]) / slots : 0.0;
+    result.per_tx_usable_fraction.push_back(fraction);
+    result.best_single_tx_fraction =
+        std::max(result.best_single_tx_fraction, fraction);
+  }
+  return result;
+}
+
+}  // namespace cyclops::link

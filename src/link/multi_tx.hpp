@@ -1,0 +1,58 @@
+// Multi-TX rig: several ceiling transmitters serving one headset, with
+// per-TX calibrated TP chains and handover — the §3 occlusion/coverage
+// architecture as a first-class API (examples/handover_demo shows the
+// manual version).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/tp_controller.hpp"
+#include "link/handover.hpp"
+#include "motion/profile.hpp"
+
+namespace cyclops::link {
+
+/// One calibrated TX chain.
+struct TxChain {
+  sim::Prototype proto;
+  core::CalibrationResult calibration;
+  core::PointingSolver solver;
+  sim::Voltages voltages{};
+
+  TxChain(sim::Prototype p, core::CalibrationResult c)
+      : proto(std::move(p)),
+        calibration(std::move(c)),
+        solver(calibration.make_pointing_solver()) {}
+};
+
+struct MultiTxConfig {
+  HandoverConfig handover;
+  util::SimTimeUs step = 1000;
+  double report_period_ms = 12.5;
+  /// Per-chain TP configuration (DAQ latency, optional pose prediction).
+  core::TpConfig tp;
+};
+
+struct MultiTxResult {
+  double served_fraction = 0.0;        ///< Slots with a usable serving TX.
+  double best_single_tx_fraction = 0.0;  ///< Best TX alone (baseline).
+  int switches = 0;
+  std::vector<double> per_tx_usable_fraction;
+};
+
+/// Builds a TX chain: prototype at `tx_position` + full calibration.
+TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
+                      const sim::PrototypeConfig& base_config);
+
+/// Runs a multi-TX session over `profile`.  `occlusion(t, tx_index)` says
+/// whether the given TX's path is blocked at time t (the scene occluders
+/// are managed internally from it).
+MultiTxResult run_multi_tx_session(
+    std::vector<TxChain>& chains, const motion::MotionProfile& profile,
+    const MultiTxConfig& config,
+    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion);
+
+}  // namespace cyclops::link

@@ -1,0 +1,90 @@
+#include "link/session_log.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+
+namespace cyclops::link {
+
+const char* to_string(SessionEventKind kind) noexcept {
+  switch (kind) {
+    case SessionEventKind::kLinkUp:
+      return "link_up";
+    case SessionEventKind::kLinkDown:
+      return "link_down";
+    case SessionEventKind::kRealignment:
+      return "realignment";
+    case SessionEventKind::kTpFailure:
+      return "tp_failure";
+  }
+  return "unknown";
+}
+
+void SessionLog::on_slot(util::SimTimeUs now, bool up, double power_dbm) {
+  if (!have_state_) {
+    have_state_ = true;
+    last_up_ = up;
+    events_.push_back({now,
+                       up ? SessionEventKind::kLinkUp
+                          : SessionEventKind::kLinkDown,
+                       power_dbm});
+  } else if (up != last_up_) {
+    last_up_ = up;
+    events_.push_back({now,
+                       up ? SessionEventKind::kLinkUp
+                          : SessionEventKind::kLinkDown,
+                       power_dbm});
+  }
+  last_time_ = now;
+}
+
+int SessionLog::count(SessionEventKind kind) const {
+  return static_cast<int>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const SessionEvent& e) { return e.kind == kind; }));
+}
+
+double SessionLog::longest_outage_s() const {
+  double longest = 0.0;
+  util::SimTimeUs down_since = -1;
+  for (const auto& event : events_) {
+    if (event.kind == SessionEventKind::kLinkDown) {
+      down_since = event.time;
+    } else if (event.kind == SessionEventKind::kLinkUp && down_since >= 0) {
+      longest = std::max(longest, util::us_to_s(event.time - down_since));
+      down_since = -1;
+    }
+  }
+  if (down_since >= 0) {
+    longest = std::max(longest, util::us_to_s(last_time_ - down_since));
+  }
+  return longest;
+}
+
+void SessionLog::save(const std::filesystem::path& stem) const {
+  std::vector<std::vector<double>> window_rows;
+  window_rows.reserve(windows_.size());
+  for (const auto& w : windows_) {
+    window_rows.push_back({w.t_s, w.throughput_gbps, w.avg_power_dbm,
+                           w.min_power_all_dbm, w.power_ok_fraction,
+                           w.linear_speed_mps, w.angular_speed_rps,
+                           w.up_fraction});
+  }
+  util::write_csv(
+      std::filesystem::path(stem.string() + "_windows.csv"),
+      {"t_s", "throughput_gbps", "avg_power_dbm", "min_power_dbm",
+       "power_ok_fraction", "linear_mps", "angular_rps", "up_fraction"},
+      window_rows);
+
+  std::vector<std::vector<double>> event_rows;
+  event_rows.reserve(events_.size());
+  for (const auto& e : events_) {
+    event_rows.push_back({util::us_to_ms(e.time),
+                          static_cast<double>(static_cast<int>(e.kind)),
+                          e.power_dbm});
+  }
+  util::write_csv(std::filesystem::path(stem.string() + "_events.csv"),
+                  {"t_ms", "kind", "power_dbm"}, event_rows);
+}
+
+}  // namespace cyclops::link

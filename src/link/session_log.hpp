@@ -1,0 +1,61 @@
+// Session logging: record a closed-loop run (per-window link metrics and
+// discrete events) and export to CSV for offline analysis.  A deployed
+// system needs this trail to diagnose "why did my headset freeze at
+// 14:32" — and the bench harness uses it to archive runs.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "link/fso_link.hpp"
+
+namespace cyclops::link {
+
+enum class SessionEventKind {
+  kLinkUp,
+  kLinkDown,
+  kRealignment,
+  kTpFailure,
+};
+
+struct SessionEvent {
+  util::SimTimeUs time = 0;
+  SessionEventKind kind = SessionEventKind::kLinkUp;
+  double power_dbm = 0.0;
+};
+
+const char* to_string(SessionEventKind kind) noexcept;
+
+/// Collects per-slot samples into events + keeps the run's windows.
+class SessionLog {
+ public:
+  /// Feeds one slot (wire into SimOptions::on_slot).
+  void on_slot(util::SimTimeUs now, bool up, double power_dbm);
+
+  /// Attach the run result (windows etc.) once the simulation finishes.
+  void finish(const RunResult& result) { windows_ = result.windows; }
+
+  const std::vector<SessionEvent>& events() const noexcept { return events_; }
+  const std::vector<WindowSample>& windows() const noexcept {
+    return windows_;
+  }
+
+  /// Counts by kind.
+  int count(SessionEventKind kind) const;
+
+  /// Longest continuous down period (seconds).
+  double longest_outage_s() const;
+
+  /// Writes two CSVs: <stem>_windows.csv and <stem>_events.csv.
+  void save(const std::filesystem::path& stem) const;
+
+ private:
+  std::vector<SessionEvent> events_;
+  std::vector<WindowSample> windows_;
+  bool have_state_ = false;
+  bool last_up_ = false;
+  util::SimTimeUs last_time_ = 0;
+};
+
+}  // namespace cyclops::link

@@ -1,0 +1,88 @@
+#include "link/slot_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclops::link {
+
+double SlotEvalResult::scattered_fraction(int threshold) const {
+  int scattered = 0;
+  int total = 0;
+  for (int n : off_per_dirty_frame) {
+    total += n;
+    if (n < threshold) scattered += n;
+  }
+  return total > 0 ? static_cast<double>(scattered) / total : 1.0;
+}
+
+SlotEvalResult evaluate_trace(const motion::Trace& trace,
+                              const SlotEvalConfig& config) {
+  SlotEvalResult result;
+  if (trace.samples.size() < 2) return result;
+
+  constexpr int kFrameSlots = 30;
+  std::vector<bool> slot_off;
+
+  // Walk report intervals; within each, drift grows linearly from the
+  // residual TP error after the realignment completes.
+  for (std::size_t i = 1; i < trace.samples.size(); ++i) {
+    const auto& prev = trace.samples[i - 1];
+    const auto& cur = trace.samples[i];
+    const double gap_ms = util::us_to_ms(cur.time - prev.time);
+    if (gap_ms <= 0.0) continue;
+
+    const double lat_rate =
+        geom::translation_distance(prev.pose, cur.pose) / gap_ms;  // m/ms
+    const double ang_rate =
+        geom::rotation_distance(prev.pose, cur.pose) / gap_ms;  // rad/ms
+
+    const int slots = std::max(1, static_cast<int>(gap_ms / config.slot_ms));
+    for (int s = 0; s < slots; ++s) {
+      const double t_ms = (s + 1) * config.slot_ms;
+      double lat_err, ang_err;
+      if (t_ms <= config.tp_latency_ms) {
+        // Realignment for the report at the interval start hasn't landed:
+        // drift continues on top of the previous interval's budget.  Use a
+        // conservative carry-over of one full interval of drift.
+        lat_err = config.residual_lateral_m + lat_rate * (gap_ms + t_ms);
+        ang_err = config.residual_angular_rad + ang_rate * (gap_ms + t_ms);
+      } else {
+        lat_err = config.residual_lateral_m + lat_rate * t_ms;
+        ang_err = config.residual_angular_rad + ang_rate * t_ms;
+      }
+      const bool off = lat_err > config.lateral_tolerance_m ||
+                       ang_err > config.angular_tolerance_rad;
+      slot_off.push_back(off);
+    }
+  }
+
+  result.total_slots = static_cast<int>(slot_off.size());
+  for (std::size_t f = 0; f < slot_off.size(); f += kFrameSlots) {
+    int off_in_frame = 0;
+    const std::size_t end = std::min(slot_off.size(), f + kFrameSlots);
+    for (std::size_t s = f; s < end; ++s) {
+      if (slot_off[s]) ++off_in_frame;
+    }
+    if (off_in_frame > 0) result.off_per_dirty_frame.push_back(off_in_frame);
+    result.off_slots += off_in_frame;
+  }
+  return result;
+}
+
+DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
+                                   const SlotEvalConfig& config) {
+  DatasetEvalResult result;
+  result.per_trace_off_fraction.reserve(traces.size());
+  for (const auto& trace : traces) {
+    const SlotEvalResult r = evaluate_trace(trace, config);
+    result.per_trace_off_fraction.push_back(r.off_fraction());
+    result.pooled.total_slots += r.total_slots;
+    result.pooled.off_slots += r.off_slots;
+    result.pooled.off_per_dirty_frame.insert(
+        result.pooled.off_per_dirty_frame.end(), r.off_per_dirty_frame.begin(),
+        r.off_per_dirty_frame.end());
+  }
+  return result;
+}
+
+}  // namespace cyclops::link

@@ -1,0 +1,54 @@
+// The §5.4 trace-driven connectivity simulation, exactly as the paper
+// specifies it: 1 ms slots; at each (10 ms) trace report the TP mechanism
+// realigns within `tp_latency_ms` leaving a residual lateral/angular
+// error; between reports the terminal drifts at the report-to-report rate;
+// a slot is disconnected when accumulated lateral or angular error exceeds
+// the link's tolerance.
+#pragma once
+
+#include <vector>
+
+#include "motion/trace.hpp"
+
+namespace cyclops::link {
+
+struct SlotEvalConfig {
+  double slot_ms = 1.0;
+  double tp_latency_ms = 2.0;
+  /// Residual TP error after a realignment (§5.4 uses the Table-2 combined
+  /// averages: 4.54 mm lateral, 4.54 mm / 1.75 m = 2.59 mrad angular).
+  double residual_lateral_m = 4.54e-3;
+  double residual_angular_rad = 4.54e-3 / 1.75;
+  /// Link movement tolerances (25G design: 6 mm lateral, 8.73 mrad).
+  double lateral_tolerance_m = 6e-3;
+  double angular_tolerance_rad = 8.73e-3;
+};
+
+struct SlotEvalResult {
+  int total_slots = 0;
+  int off_slots = 0;
+  double off_fraction() const {
+    return total_slots > 0 ? static_cast<double>(off_slots) / total_slots : 0.0;
+  }
+  /// Off-slot clustering: for each 30-slot "frame" containing at least one
+  /// off-slot, how many of its slots were off.
+  std::vector<int> off_per_dirty_frame;
+  /// Fraction of off-slots that fall in frames with fewer than
+  /// `threshold` off-slots (the paper reports >60 % for threshold 10).
+  double scattered_fraction(int threshold = 10) const;
+};
+
+/// Evaluates one trace.
+SlotEvalResult evaluate_trace(const motion::Trace& trace,
+                              const SlotEvalConfig& config);
+
+/// Evaluates a dataset; returns per-trace off-fractions (for the Fig 16
+/// CDF) plus the pooled result.
+struct DatasetEvalResult {
+  std::vector<double> per_trace_off_fraction;
+  SlotEvalResult pooled;
+};
+DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
+                                   const SlotEvalConfig& config);
+
+}  // namespace cyclops::link

@@ -1,0 +1,56 @@
+// Head-movement traces: timestamped poses at a fixed sampling period,
+// matching the format of the public 360°-video viewing dataset the paper
+// uses in §5.4 (head location + orientation every 10 ms).
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "geom/pose.hpp"
+#include "motion/profile.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::motion {
+
+struct TimedPose {
+  util::SimTimeUs time = 0;
+  geom::Pose pose;
+};
+
+struct Trace {
+  std::vector<TimedPose> samples;
+
+  double duration_s() const {
+    return samples.empty() ? 0.0 : util::us_to_s(samples.back().time);
+  }
+
+  /// Pose at t by lerp/slerp between bracketing samples (clamped).
+  geom::Pose pose_at(util::SimTimeUs t) const;
+
+  /// CSV round-trip: columns t_ms, x, y, z, qw, qx, qy, qz.
+  void save_csv(const std::filesystem::path& path) const;
+  static Trace load_csv(const std::filesystem::path& path);
+};
+
+/// Adapts a Trace to the MotionProfile interface.
+class TraceMotion final : public MotionProfile {
+ public:
+  explicit TraceMotion(Trace trace) : trace_(std::move(trace)) {}
+  geom::Pose pose_at(util::SimTimeUs t) const override {
+    return trace_.pose_at(t);
+  }
+  double duration_s() const override { return trace_.duration_s(); }
+  const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  Trace trace_;
+};
+
+/// Per-sample speeds along a trace (length = samples - 1).
+struct TraceSpeeds {
+  std::vector<double> linear_mps;
+  std::vector<double> angular_rps;
+};
+TraceSpeeds compute_speeds(const Trace& trace);
+
+}  // namespace cyclops::motion

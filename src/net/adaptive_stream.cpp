@@ -1,0 +1,37 @@
+#include "net/adaptive_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclops::net {
+
+StreamMode AdaptiveStreamController::step(util::SimTimeUs now,
+                                          double capacity_gbps) {
+  const double dt =
+      last_step_ == 0 ? 1e-3 : util::us_to_s(now - last_step_);
+  last_step_ = now;
+
+  // How satisfied is the *raw* demand right now?  (Judge against raw so
+  // the controller can tell when an upgrade would succeed.)
+  const double satisfied =
+      std::clamp(capacity_gbps / config_.raw_rate_gbps, 0.0, 1.0);
+  const double alpha =
+      1.0 - std::exp(-dt / util::us_to_s(config_.window));
+  satisfied_ema_ += alpha * (satisfied - satisfied_ema_);
+
+  const bool dwell_ok = now - last_switch_ >= config_.min_dwell;
+  if (mode_ == StreamMode::kRaw &&
+      satisfied_ema_ < config_.downgrade_threshold && dwell_ok) {
+    mode_ = StreamMode::kCompressed;
+    ++switches_;
+    last_switch_ = now;
+  } else if (mode_ == StreamMode::kCompressed &&
+             satisfied_ema_ > config_.upgrade_threshold && dwell_ok) {
+    mode_ = StreamMode::kRaw;
+    ++switches_;
+    last_switch_ = now;
+  }
+  return mode_;
+}
+
+}  // namespace cyclops::net

@@ -1,0 +1,74 @@
+// Adaptive stream controller: raw video when the link allows it, a
+// compressed fallback when it does not.
+//
+// §2.1's trade-off, operationalized: streaming raw frames avoids the
+// decode burden (and its motion-to-photon latency cost) but needs tens of
+// Gbps; compressed streaming survives on WiFi-class rates at the cost of
+// added latency and quality.  This controller watches the delivered-rate
+// history and switches modes with hysteresis, so a Cyclops link that
+// briefly drops (occlusion, fast motion) degrades to "compressed" instead
+// of freezing — and upgrades back when the optical link returns.
+#pragma once
+
+#include "net/frame_source.hpp"
+
+namespace cyclops::net {
+
+enum class StreamMode {
+  kRaw,         ///< Uncompressed frames over the FSO link.
+  kCompressed,  ///< Codec fallback (e.g. HEVC at ~0.4 Gbps).
+};
+
+struct AdaptiveConfig {
+  double raw_rate_gbps = 20.0;
+  double compressed_rate_gbps = 0.4;
+  /// Extra motion-to-photon latency the decoder adds in compressed mode.
+  double decode_latency_ms = 8.0;
+  /// Downgrade when the delivered fraction over the window drops below
+  /// this; upgrade back above the high-water mark (hysteresis).
+  double downgrade_threshold = 0.90;
+  double upgrade_threshold = 0.995;
+  /// Sliding window over which delivery is judged.
+  util::SimTimeUs window = 500000;  // 0.5 s
+  /// Minimum dwell time in a mode (prevents flapping).
+  util::SimTimeUs min_dwell = 1000000;  // 1 s
+};
+
+class AdaptiveStreamController {
+ public:
+  explicit AdaptiveStreamController(AdaptiveConfig config)
+      : config_(config) {}
+
+  /// Feeds one slot: the link's current deliverable capacity.  Returns
+  /// the mode to use for frames rendered now.
+  StreamMode step(util::SimTimeUs now, double capacity_gbps);
+
+  StreamMode mode() const noexcept { return mode_; }
+  int mode_switches() const noexcept { return switches_; }
+
+  /// Rate demanded from the link in the current mode.
+  double current_rate_gbps() const noexcept {
+    return mode_ == StreamMode::kRaw ? config_.raw_rate_gbps
+                                     : config_.compressed_rate_gbps;
+  }
+
+  /// End-to-end latency penalty of the current mode.
+  double current_decode_latency_ms() const noexcept {
+    return mode_ == StreamMode::kRaw ? 0.0 : config_.decode_latency_ms;
+  }
+
+  const AdaptiveConfig& config() const noexcept { return config_; }
+
+ private:
+  AdaptiveConfig config_;
+  StreamMode mode_ = StreamMode::kRaw;
+  int switches_ = 0;
+  util::SimTimeUs last_switch_ = 0;
+  // Sliding accounting: how much of the demanded rate the link could
+  // carry over the recent window (exponential moving average matched to
+  // the window length).
+  double satisfied_ema_ = 1.0;
+  util::SimTimeUs last_step_ = 0;
+};
+
+}  // namespace cyclops::net

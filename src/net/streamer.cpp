@@ -1,0 +1,53 @@
+#include "net/streamer.hpp"
+
+#include <algorithm>
+
+namespace cyclops::net {
+
+void FrameStreamer::offer(const Frame& frame) {
+  ++stats_.frames_offered;
+  queue_.push_back({frame, frame.bits * config_.overhead});
+}
+
+void FrameStreamer::record_drop() {
+  ++stats_.frames_dropped;
+  ++current_drop_run_;
+  if (current_drop_run_ == 2) ++stats_.freeze_events;
+  stats_.longest_freeze_frames =
+      std::max(stats_.longest_freeze_frames, current_drop_run_);
+}
+
+void FrameStreamer::record_delivery(util::SimTimeUs now, const Frame& frame) {
+  ++stats_.frames_delivered;
+  current_drop_run_ = 0;
+  const double latency_ms = util::us_to_ms(now - frame.render_time);
+  latency_sum_ms_ += latency_ms;
+  stats_.avg_delivery_latency_ms =
+      latency_sum_ms_ / static_cast<double>(stats_.frames_delivered);
+  stats_.max_delivery_latency_ms =
+      std::max(stats_.max_delivery_latency_ms, latency_ms);
+}
+
+void FrameStreamer::step(util::SimTimeUs now, util::SimTimeUs slot_duration,
+                         double capacity_gbps) {
+  // Expire frames that can no longer make their deadline.
+  while (!queue_.empty() &&
+         now > queue_.front().frame.render_time + config_.deadline) {
+    record_drop();
+    queue_.pop_front();
+  }
+
+  double budget_bits = capacity_gbps * 1e9 * util::us_to_s(slot_duration);
+  while (budget_bits > 0.0 && !queue_.empty()) {
+    InFlight& head = queue_.front();
+    const double sent = std::min(budget_bits, head.bits_remaining);
+    head.bits_remaining -= sent;
+    budget_bits -= sent;
+    if (head.bits_remaining <= 0.0) {
+      record_delivery(now + slot_duration, head.frame);
+      queue_.pop_front();
+    }
+  }
+}
+
+}  // namespace cyclops::net

@@ -1,0 +1,73 @@
+// Frame streamer: pushes rendered frames over the (time-varying) FSO link
+// and tracks the user-experience metrics the paper's §5.4 analysis cares
+// about — frames delivered in time vs frames lost to link-off periods,
+// and the display-side freeze pattern.
+//
+// Policy: frames queue FIFO; a frame still undelivered past its deadline
+// (a small multiple of the frame period — stale frames are useless in VR)
+// is dropped, and the display re-shows the previous frame (a "freeze").
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "net/frame_source.hpp"
+
+namespace cyclops::net {
+
+struct StreamerConfig {
+  /// Delivery deadline relative to render time.
+  util::SimTimeUs deadline = 22000;  ///< ~2 frame periods at 90 fps.
+  /// Transmission overhead factor (protocol framing, FEC).
+  double overhead = 1.05;
+};
+
+struct StreamStats {
+  std::int64_t frames_offered = 0;
+  std::int64_t frames_delivered = 0;
+  std::int64_t frames_dropped = 0;
+  double avg_delivery_latency_ms = 0.0;  ///< Render -> fully received.
+  double max_delivery_latency_ms = 0.0;
+  /// Display freezes: runs of >= 2 consecutive dropped frames.
+  int freeze_events = 0;
+  int longest_freeze_frames = 0;
+
+  double delivery_rate() const {
+    return frames_offered > 0
+               ? static_cast<double>(frames_delivered) / frames_offered
+               : 0.0;
+  }
+};
+
+class FrameStreamer {
+ public:
+  explicit FrameStreamer(StreamerConfig config) : config_(config) {}
+
+  /// Enqueues a rendered frame.
+  void offer(const Frame& frame);
+
+  /// Advances one slot of `slot_duration`; `capacity_gbps` is the link's
+  /// deliverable rate during the slot (0 when the link is down).
+  void step(util::SimTimeUs now, util::SimTimeUs slot_duration,
+            double capacity_gbps);
+
+  const StreamStats& stats() const noexcept { return stats_; }
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+
+ private:
+  struct InFlight {
+    Frame frame;
+    double bits_remaining = 0.0;
+  };
+
+  void record_drop();
+  void record_delivery(util::SimTimeUs now, const Frame& frame);
+
+  StreamerConfig config_;
+  std::deque<InFlight> queue_;
+  StreamStats stats_;
+  double latency_sum_ms_ = 0.0;
+  int current_drop_run_ = 0;
+};
+
+}  // namespace cyclops::net

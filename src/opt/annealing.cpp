@@ -1,0 +1,49 @@
+#include "opt/annealing.hpp"
+
+#include <cmath>
+
+namespace cyclops::opt {
+
+AnnealingResult simulated_annealing(
+    const std::function<double(std::span<const double>)>& fn,
+    std::vector<double> x0, const AnnealingOptions& options, util::Rng& rng) {
+  AnnealingResult result;
+  std::vector<double> current = std::move(x0);
+  double current_value = fn(current);
+  result.params = current;
+  result.value = current_value;
+  result.evaluations = 1;
+
+  double temperature = options.initial_temperature;
+  std::vector<double> candidate = current;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Propose: perturb one random coordinate (better acceptance in
+    // moderate dimension than all-coordinate moves).
+    candidate = current;
+    const std::size_t j = rng.uniform_index(current.size());
+    const double scale =
+        (j < options.step_scales.size() ? options.step_scales[j]
+                                        : options.default_step) *
+        std::sqrt(temperature / options.initial_temperature);
+    candidate[j] += rng.normal(0.0, scale);
+
+    const double value = fn(candidate);
+    ++result.evaluations;
+    const double delta = value - current_value;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current = candidate;
+      current_value = value;
+      ++result.accepted;
+      if (current_value < result.value) {
+        result.value = current_value;
+        result.params = current;
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return result;
+}
+
+}  // namespace cyclops::opt

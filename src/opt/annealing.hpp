@@ -1,0 +1,42 @@
+// Simulated annealing for global minimization.
+//
+// The Stage-2 mapping fit is a 12-parameter nonconvex problem; LM from a
+// decent manual guess almost always lands in the right basin, but a
+// from-scratch deployment (no manual measurement at all) needs a global
+// stage.  Annealing over the pose parameters followed by an LM polish
+// covers that case (see core::calibrate_prototype's multi-start and
+// tests/opt_annealing_test.cpp).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cyclops::opt {
+
+struct AnnealingOptions {
+  int iterations = 20000;
+  double initial_temperature = 1.0;
+  /// Exponential cooling: T_k = T0 * cooling^k (per iteration).
+  double cooling = 0.9995;
+  /// Per-parameter proposal scale at T = T0 (scaled by sqrt(T/T0)).
+  std::vector<double> step_scales;
+  /// Default proposal scale when step_scales is empty.
+  double default_step = 0.1;
+};
+
+struct AnnealingResult {
+  std::vector<double> params;
+  double value = 0.0;
+  int evaluations = 0;
+  int accepted = 0;
+};
+
+/// Minimizes fn by Metropolis annealing from x0.
+AnnealingResult simulated_annealing(
+    const std::function<double(std::span<const double>)>& fn,
+    std::vector<double> x0, const AnnealingOptions& options, util::Rng& rng);
+
+}  // namespace cyclops::opt

@@ -1,0 +1,108 @@
+#include "opt/levmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/linalg.hpp"
+
+namespace cyclops::opt {
+namespace {
+
+double cost_of(std::span<const double> residuals) {
+  double c = 0.0;
+  for (double r : residuals) c += r * r;
+  return c;
+}
+
+}  // namespace
+
+void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
+                      double epsilon, Matrix& jacobian) {
+  std::vector<double> p(params.begin(), params.end());
+  std::vector<double> r_plus, r_minus;
+  fn(p, r_plus);  // size probe
+  const std::size_t m = r_plus.size();
+  const std::size_t n = p.size();
+  jacobian = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Scale the step with the parameter magnitude for conditioning.
+    const double h = epsilon * std::max(1.0, std::abs(p[j]));
+    const double saved = p[j];
+    p[j] = saved + h;
+    fn(p, r_plus);
+    p[j] = saved - h;
+    fn(p, r_minus);
+    p[j] = saved;
+    for (std::size_t i = 0; i < m; ++i) {
+      jacobian(i, j) = (r_plus[i] - r_minus[i]) / (2.0 * h);
+    }
+  }
+}
+
+LevMarResult levenberg_marquardt(const ResidualFn& fn,
+                                 std::vector<double> initial_guess,
+                                 const LevMarOptions& options) {
+  LevMarResult result;
+  std::vector<double> params = std::move(initial_guess);
+  std::vector<double> residuals;
+  fn(params, residuals);
+  double cost = cost_of(residuals);
+  result.initial_cost = cost;
+
+  double lambda = options.initial_lambda;
+  Matrix jac;
+  std::vector<double> step, candidate, cand_residuals;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    numeric_jacobian(fn, params, options.jacobian_epsilon, jac);
+    Matrix jtj = normal_matrix(jac);
+    std::vector<double> jtr = transpose_times(jac, residuals);
+
+    bool stepped = false;
+    // Inner damping loop: grow lambda until a cost-reducing step is found.
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      Matrix damped = jtj;
+      for (std::size_t d = 0; d < damped.rows(); ++d) {
+        damped(d, d) += lambda * std::max(jtj(d, d), 1e-12);
+      }
+      if (!solve_spd(damped, jtr, step)) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      candidate = params;
+      double step_norm = 0.0;
+      for (std::size_t j = 0; j < params.size(); ++j) {
+        candidate[j] -= step[j];
+        step_norm = std::max(step_norm, std::abs(step[j]));
+      }
+      fn(candidate, cand_residuals);
+      const double cand_cost = cost_of(cand_residuals);
+      if (cand_cost < cost) {
+        const double improvement = (cost - cand_cost) / std::max(cost, 1e-300);
+        params = candidate;
+        residuals = cand_residuals;
+        cost = cand_cost;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        stepped = true;
+        if (improvement < options.cost_tolerance ||
+            step_norm < options.step_tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!stepped) {
+      // No downhill step found: treat as converged at a (local) minimum.
+      result.converged = true;
+    }
+    if (result.converged) break;
+  }
+
+  result.params = std::move(params);
+  result.final_cost = cost;
+  return result;
+}
+
+}  // namespace cyclops::opt

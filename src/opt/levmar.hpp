@@ -1,0 +1,51 @@
+// Levenberg-Marquardt nonlinear least squares.
+//
+// This is the from-scratch substitute for the paper's use of SciPy's
+// optimizer [57]: it fits the Stage-1 GMA parameters (13 values from 266
+// board samples) and the Stage-2 mapping parameters (12 values from ~30
+// aligned-link samples).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace cyclops::opt {
+
+/// Residual function: fills `residuals` given `params`.  The residual vector
+/// length must be fixed across calls.
+using ResidualFn =
+    std::function<void(std::span<const double> params, std::vector<double>& residuals)>;
+
+struct LevMarOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.5;
+  /// Stop when the relative cost improvement falls below this.
+  double cost_tolerance = 1e-12;
+  /// Stop when the step's infinity norm falls below this.
+  double step_tolerance = 1e-12;
+  /// Finite-difference step for the numeric Jacobian.
+  double jacobian_epsilon = 1e-7;
+};
+
+struct LevMarResult {
+  std::vector<double> params;
+  double initial_cost = 0.0;  ///< Sum of squared residuals at the start.
+  double final_cost = 0.0;    ///< Sum of squared residuals at the solution.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes sum of squared residuals starting from `initial_guess`.
+LevMarResult levenberg_marquardt(const ResidualFn& fn,
+                                 std::vector<double> initial_guess,
+                                 const LevMarOptions& options = {});
+
+/// Central-difference Jacobian of `fn` at `params` (rows = residuals,
+/// cols = params), exposed for tests.
+void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
+                      double epsilon, class Matrix& jacobian);
+
+}  // namespace cyclops::opt

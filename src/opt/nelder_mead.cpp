@@ -1,0 +1,113 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclops::opt {
+
+NelderMeadResult nelder_mead(const ScalarFn& fn, std::vector<double> x0,
+                             const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  NelderMeadResult result;
+  int evals = 0;
+  const auto eval = [&](std::span<const double> x) {
+    ++evals;
+    return fn(x);
+  };
+
+  // Build the initial simplex: x0 plus one offset vertex per dimension.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double step =
+        options.initial_step * std::max(1.0, std::abs(x0[i]));
+    simplex[i + 1][i] += step;
+  }
+  for (std::size_t i = 0; i <= n; ++i) values[i] = eval(simplex[i]);
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n), reflected(n), candidate(n);
+
+  while (evals < options.max_evaluations) {
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence checks.
+    const double f_spread = std::abs(values[worst] - values[best]);
+    double x_spread = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x_spread = std::max(
+          x_spread, std::abs(simplex[worst][i] - simplex[best][i]));
+    }
+    if (f_spread < options.f_tolerance || x_spread < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    for (std::size_t j = 0; j < n; ++j) {
+      reflected[j] = centroid[j] + kAlpha * (centroid[j] - simplex[worst][j]);
+    }
+    const double f_reflected = eval(reflected);
+
+    if (f_reflected < values[best]) {
+      for (std::size_t j = 0; j < n; ++j) {
+        candidate[j] = centroid[j] + kGamma * (reflected[j] - centroid[j]);
+      }
+      const double f_expanded = eval(candidate);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = candidate;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+    } else if (f_reflected < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        candidate[j] = centroid[j] + kRho * (simplex[worst][j] - centroid[j]);
+      }
+      const double f_contracted = eval(candidate);
+      if (f_contracted < values[worst]) {
+        simplex[worst] = candidate;
+        values[worst] = f_contracted;
+      } else {
+        // Shrink all vertices toward the best.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t j = 0; j < n; ++j) {
+            simplex[i][j] =
+                simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+          }
+          values[i] = eval(simplex[i]);
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(values.begin(), values.end());
+  result.params = simplex[static_cast<std::size_t>(best_it - values.begin())];
+  result.value = *best_it;
+  result.evaluations = evals;
+  return result;
+}
+
+}  // namespace cyclops::opt

@@ -1,0 +1,36 @@
+// Nelder-Mead downhill simplex for derivative-free minimization.
+//
+// Used where residual structure is unavailable: the exhaustive-aligner's
+// local refinement over the 4 GM voltages, and ablation studies.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace cyclops::opt {
+
+using ScalarFn = std::function<double(std::span<const double>)>;
+
+struct NelderMeadOptions {
+  int max_evaluations = 4000;
+  /// Initial simplex edge length per dimension (scaled by this factor
+  /// relative to |x0| or 1).
+  double initial_step = 0.1;
+  /// Converged when the simplex's function-value spread falls below this.
+  double f_tolerance = 1e-12;
+  /// Converged when the simplex's parameter spread falls below this.
+  double x_tolerance = 1e-10;
+};
+
+struct NelderMeadResult {
+  std::vector<double> params;
+  double value = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+NelderMeadResult nelder_mead(const ScalarFn& fn, std::vector<double> x0,
+                             const NelderMeadOptions& options = {});
+
+}  // namespace cyclops::opt

@@ -1,0 +1,88 @@
+#include "optics/beam.hpp"
+
+#include <cmath>
+
+#include "geom/reflect.hpp"
+
+namespace cyclops::optics {
+
+BeamSpec BeamSpec::diverging_for(double target_diameter, double range,
+                                 double launch_diameter, double tail_factor) {
+  BeamSpec spec;
+  spec.kind = BeamKind::kDiverging;
+  spec.launch_diameter = launch_diameter;
+  spec.divergence_half_angle =
+      (target_diameter - launch_diameter) / (2.0 * range);
+  spec.tail_factor = tail_factor;
+  return spec;
+}
+
+BeamSpec BeamSpec::collimated(double diameter, double tail_factor) {
+  BeamSpec spec;
+  spec.kind = BeamKind::kCollimated;
+  spec.launch_diameter = diameter;
+  spec.divergence_half_angle = 0.0;
+  spec.tail_factor = tail_factor;
+  return spec;
+}
+
+double TracedBeam::envelope_diameter_at(const geom::Vec3& p) const {
+  if (spec.kind == BeamKind::kCollimated) return spec.launch_diameter;
+  const double dist = geom::distance(apex, p);
+  return 2.0 * dist * std::tan(spec.divergence_half_angle);
+}
+
+double TracedBeam::lateral_scale_at(const geom::Vec3& p) const {
+  return spec.tail_factor * 0.5 * envelope_diameter_at(p);
+}
+
+geom::Vec3 TracedBeam::arriving_dir_at(const geom::Vec3& p) const {
+  if (spec.kind == BeamKind::kCollimated) return chief.dir;
+  const geom::Vec3 d = p - apex;
+  const double n = d.norm();
+  // Degenerate: asking at the apex itself; fall back to the chief direction.
+  if (n < 1e-12) return chief.dir;
+  return d / n;
+}
+
+double TracedBeam::envelope_offset(const geom::Vec3& p) const {
+  return geom::line_point_distance(chief, p);
+}
+
+double TracedBeam::local_divergence_at(const geom::Vec3&) const {
+  return spec.kind == BeamKind::kCollimated ? 0.0
+                                            : spec.divergence_half_angle;
+}
+
+std::optional<TracedBeam> TracedBeam::reflected(
+    const geom::Plane& mirror) const {
+  const auto out = geom::reflect(chief, mirror);
+  if (!out) return std::nullopt;
+  TracedBeam result;
+  result.chief = *out;
+  result.spec = spec;
+  // Mirror-image the apex across the mirror plane so distances and ray
+  // directions inside the cone remain correct after the fold.
+  const geom::Vec3 n = mirror.normal.normalized();
+  const double d = (apex - mirror.point).dot(n);
+  result.apex = apex - n * (2.0 * d);
+  return result;
+}
+
+TracedBeam launch_beam(const geom::Ray& launch, const BeamSpec& spec) {
+  TracedBeam beam;
+  beam.chief = {launch.origin, launch.dir.normalized()};
+  beam.spec = spec;
+  if (spec.kind == BeamKind::kDiverging && spec.divergence_half_angle > 0.0) {
+    // Place the virtual apex behind the launch point so the envelope has
+    // the requested launch diameter at the launch plane.
+    const double back =
+        (spec.launch_diameter * 0.5) / std::tan(spec.divergence_half_angle);
+    beam.apex = beam.chief.origin - beam.chief.dir * back;
+  } else {
+    beam.apex = beam.chief.origin;
+  }
+  return beam;
+}
+
+}  // namespace cyclops::optics

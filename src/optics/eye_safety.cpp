@@ -1,0 +1,77 @@
+#include "optics/eye_safety.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace cyclops::optics {
+namespace {
+
+constexpr double kPupilRadius = 3.5e-3;  // 7 mm pupil
+
+double beam_diameter_at(const BeamSpec& beam, double distance) {
+  if (beam.kind == BeamKind::kCollimated) return beam.launch_diameter;
+  return beam.launch_diameter +
+         2.0 * distance * std::tan(beam.divergence_half_angle);
+}
+
+}  // namespace
+
+double class1_ael_mw(double wavelength_nm) noexcept {
+  // Simplified per-band CW values (long-exposure AELs commonly quoted for
+  // telecom work).  Retinal-hazard band is strict; 1400+ nm is absorbed
+  // in the cornea/lens and allows ~10 mW.
+  if (wavelength_nm < 1050.0) return 0.78;   // 850 nm band
+  if (wavelength_nm < 1400.0) return 1.56;   // O-band (1310 nm)
+  return 10.0;                               // C-band (1550 nm), retina-safe
+}
+
+double pupil_power_mw(double launch_power_dbm, const BeamSpec& beam,
+                      double distance) noexcept {
+  const double total_mw = util::dbm_to_mw(launch_power_dbm);
+  const double diameter = beam_diameter_at(beam, distance);
+  // Gaussian-envelope fraction through the pupil.
+  const double fraction =
+      1.0 - std::exp(-8.0 * kPupilRadius * kPupilRadius /
+                     (diameter * diameter));
+  return total_mw * fraction;
+}
+
+EyeSafetyReport evaluate_eye_safety(const SfpSpec& sfp, const Edfa& amp,
+                                    const BeamSpec& beam,
+                                    double closest_access_m) {
+  EyeSafetyReport report;
+  report.ael_mw = class1_ael_mw(sfp.wavelength_nm);
+  const double launch_dbm =
+      sfp.tx_power_dbm + amp.gain_for(sfp.wavelength_nm);
+  report.launch_power_mw = util::dbm_to_mw(launch_dbm);
+  report.closest_access_m = closest_access_m;
+
+  report.class1_at_aperture =
+      pupil_power_mw(launch_dbm, beam, 0.0) <= report.ael_mw;
+  report.worst_pupil_power_mw =
+      pupil_power_mw(launch_dbm, beam, closest_access_m);
+  report.class1_at_access = report.worst_pupil_power_mw <= report.ael_mw;
+
+  if (!report.class1_at_aperture) {
+    // Find the standoff beyond which the pupil-collectable power is safe.
+    double lo = 0.0, hi = 100.0;
+    if (pupil_power_mw(launch_dbm, beam, hi) > report.ael_mw) {
+      report.safe_standoff_m = hi;  // never safe within 100 m (collimated)
+    } else {
+      for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (pupil_power_mw(launch_dbm, beam, mid) > report.ael_mw) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      report.safe_standoff_m = hi;
+    }
+  }
+  return report;
+}
+
+}  // namespace cyclops::optics

@@ -1,0 +1,46 @@
+// Eye-safety accounting (IEC 60825-1 style, simplified).
+//
+// The paper leans on two facts (§2.2, §3): bare SFP transmitters are
+// Class 1, and the 1550 nm band is "retina-safe" (the cornea/lens absorb
+// before the retina), which allows ~10 mW of accessible CW power.  This
+// module makes the accounting explicit: the commonly-cited CW Class-1
+// accessible-emission limits per band, and the power actually collectable
+// by a 7 mm pupil at the closest accessible point of the (possibly
+// diverging) beam.  It reports honestly that the EDFA-boosted launch is
+// Class 1 only beyond a standoff distance — which the ceiling mount
+// provides by construction.
+#pragma once
+
+#include "optics/beam.hpp"
+#include "optics/sfp.hpp"
+
+namespace cyclops::optics {
+
+/// Commonly-cited CW Class-1 accessible emission limits (simplified
+/// single-point table; the full standard is time- and geometry-dependent).
+double class1_ael_mw(double wavelength_nm) noexcept;
+
+/// Power collectable by a 7 mm pupil centered in the beam at `distance`
+/// from the launch aperture (mW).
+double pupil_power_mw(double launch_power_dbm, const BeamSpec& beam,
+                      double distance) noexcept;
+
+struct EyeSafetyReport {
+  double ael_mw = 0.0;
+  double launch_power_mw = 0.0;     ///< Total power leaving the TX.
+  double worst_pupil_power_mw = 0.0;  ///< At the closest accessible point.
+  double closest_access_m = 0.0;
+  bool class1_at_aperture = false;  ///< Safe even with the eye at the lens.
+  bool class1_at_access = false;    ///< Safe at the closest accessible point.
+  /// Distance beyond which the collectable power drops under the AEL
+  /// (0 when safe everywhere).
+  double safe_standoff_m = 0.0;
+};
+
+/// Evaluates a TX launch (SFP + amplifier + beam) assuming the nearest a
+/// person can get to the ceiling-mounted aperture is `closest_access_m`.
+EyeSafetyReport evaluate_eye_safety(const SfpSpec& sfp, const Edfa& amp,
+                                    const BeamSpec& beam,
+                                    double closest_access_m);
+
+}  // namespace cyclops::optics

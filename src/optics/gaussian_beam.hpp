@@ -1,0 +1,40 @@
+// Textbook Gaussian-beam propagation (TEM00).
+//
+// Used to sanity-check the envelope model in src/optics/beam.hpp against
+// physical optics: a collimated 1550 nm beam of a few mm waist has
+// negligible divergence over the 1.5-2 m Cyclops link, which justifies
+// treating the collimated design as a constant-diameter cylinder.
+#pragma once
+
+namespace cyclops::optics {
+
+class GaussianBeam {
+ public:
+  /// waist_radius: 1/e^2 intensity radius at the waist (m);
+  /// wavelength: in meters (e.g. 1550e-9).
+  GaussianBeam(double waist_radius, double wavelength);
+
+  double waist_radius() const noexcept { return w0_; }
+  double wavelength() const noexcept { return lambda_; }
+
+  /// Rayleigh range z_R = pi w0^2 / lambda.
+  double rayleigh_range() const noexcept;
+
+  /// 1/e^2 radius at axial distance z from the waist.
+  double radius_at(double z) const noexcept;
+
+  /// Far-field divergence half-angle lambda / (pi w0).
+  double divergence_half_angle() const noexcept;
+
+  /// Fraction of total power within radius r of the axis at distance z.
+  double power_fraction_within(double r, double z) const noexcept;
+
+  /// On-axis-normalized intensity at radial offset r and distance z.
+  double relative_intensity(double r, double z) const noexcept;
+
+ private:
+  double w0_;
+  double lambda_;
+};
+
+}  // namespace cyclops::optics

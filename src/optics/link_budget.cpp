@@ -1,0 +1,23 @@
+#include "optics/link_budget.hpp"
+
+#include <limits>
+
+namespace cyclops::optics {
+
+PowerReport compute_power(const SfpSpec& sfp, const Edfa& amp,
+                          const CouplingResult& coupling, bool blocked) {
+  PowerReport report;
+  report.tx_power_dbm = sfp.tx_power_dbm;
+  report.amplifier_gain_db = amp.gain_for(sfp.wavelength_nm);
+  report.coupling = coupling;
+  report.blocked = blocked;
+  if (blocked) {
+    report.rx_power_dbm = -std::numeric_limits<double>::infinity();
+  } else {
+    report.rx_power_dbm = report.tx_power_dbm + report.amplifier_gain_db -
+                          coupling.total_db();
+  }
+  return report;
+}
+
+}  // namespace cyclops::optics

@@ -1,0 +1,32 @@
+// End-to-end power accounting for one FSO hop.
+#pragma once
+
+#include "optics/coupling.hpp"
+#include "optics/sfp.hpp"
+
+namespace cyclops::optics {
+
+struct PowerReport {
+  double tx_power_dbm = 0.0;
+  double amplifier_gain_db = 0.0;
+  CouplingResult coupling;
+  /// Received power coupled into the RX fiber, dBm.  -infinity when the
+  /// path is blocked.
+  double rx_power_dbm = 0.0;
+  bool blocked = false;
+
+  double margin_db(const SfpSpec& sfp) const noexcept {
+    return rx_power_dbm - sfp.rx_sensitivity_dbm;
+  }
+};
+
+/// Combines transmit power, amplifier, and coupling losses.
+PowerReport compute_power(const SfpSpec& sfp, const Edfa& amp,
+                          const CouplingResult& coupling, bool blocked);
+
+/// True when the coupled power meets the receiver sensitivity.
+inline bool link_usable(const PowerReport& report, const SfpSpec& sfp) {
+  return !report.blocked && report.rx_power_dbm >= sfp.rx_sensitivity_dbm;
+}
+
+}  // namespace cyclops::optics

@@ -1,0 +1,46 @@
+// Quadrant photodiode array around the receive aperture.
+//
+// The prototype surrounds the RX collimator with four photodiodes wired to
+// a DAQ (as in FSONet [32]) to monitor received power during the
+// exhaustive-search alignment.  Each diode samples the local envelope
+// intensity; their sum is a coarse power proxy and their differences give
+// a lateral error signal the aligner can hill-climb on.
+#pragma once
+
+#include <array>
+
+#include "geom/pose.hpp"
+#include "optics/beam.hpp"
+
+namespace cyclops::optics {
+
+struct QuadReading {
+  /// Diode currents, arbitrary linear units: +x, -x, +y, -y positions.
+  std::array<double, 4> currents{};
+
+  double sum() const noexcept {
+    return currents[0] + currents[1] + currents[2] + currents[3];
+  }
+  /// Normalized lateral error estimates in the diode plane, in [-1, 1].
+  double error_x() const noexcept;
+  double error_y() const noexcept;
+};
+
+class QuadPhotodiode {
+ public:
+  /// `center_pose` maps diode-local coordinates (diodes on the local x/y
+  /// axes at `arm_radius`, plane normal = local +z) into the world.
+  QuadPhotodiode(geom::Pose center_pose, double arm_radius);
+
+  /// Samples the beam's envelope intensity at the four diode positions.
+  QuadReading read(const TracedBeam& beam) const;
+
+  void set_pose(const geom::Pose& pose) { pose_ = pose; }
+  const geom::Pose& pose() const { return pose_; }
+
+ private:
+  geom::Pose pose_;
+  double arm_radius_;
+};
+
+}  // namespace cyclops::optics

@@ -1,0 +1,83 @@
+// SFP transceiver specifications.
+//
+// These mirror the commodity parts used by the prototype (Appendix A):
+// Cisco-compatible SFP-10G-ZR100 (1550 nm) for the 10G link and FS SFP28-LR
+// (1310 nm) for the 25G link.  The TP algorithms only consume transmit
+// power, receive sensitivity, line rate, and the link-up delay the paper
+// observes ("the SFPs taking a few seconds to report that the link is up").
+#pragma once
+
+#include <string>
+
+namespace cyclops::optics {
+
+struct SfpSpec {
+  std::string name;
+  double wavelength_nm = 1550.0;
+  double tx_power_dbm = 0.0;
+  double rx_sensitivity_dbm = -25.0;
+  /// Nominal line rate.
+  double line_rate_gbps = 10.0;
+  /// iperf-measured goodput when the link is clean (9.4 Gbps on 10GbE).
+  double goodput_gbps = 9.4;
+  /// Time for the transceiver/NIC to re-declare the link up after light
+  /// returns (seconds).
+  double link_up_delay_s = 2.0;
+
+  double link_budget_db() const noexcept {
+    return tx_power_dbm - rx_sensitivity_dbm;
+  }
+};
+
+/// 10G 1550 nm ZR SFP+ (80-100 km part): 0-4 dBm TX, -25 dBm sensitivity.
+inline SfpSpec sfp_10g_zr() {
+  return {.name = "SFP-10G-ZR",
+          .wavelength_nm = 1550.0,
+          .tx_power_dbm = 0.0,
+          .rx_sensitivity_dbm = -25.0,
+          .line_rate_gbps = 10.0,
+          .goodput_gbps = 9.4,
+          .link_up_delay_s = 2.0};
+}
+
+/// 25G SFP28 LR (10 km, 1310 nm): link budget 12-18 dB; no EDFA available
+/// at 1310 nm, so the 25G design must live off better coupling instead.
+inline SfpSpec sfp28_lr() {
+  return {.name = "SFP28-LR",
+          .wavelength_nm = 1310.0,
+          .tx_power_dbm = 2.0,
+          .rx_sensitivity_dbm = -14.0,
+          .line_rate_gbps = 25.0,
+          .goodput_gbps = 23.5,
+          .link_up_delay_s = 2.0};
+}
+
+/// 25G SFP28 ER (40 km): larger budget (19-25 dB) but no compatible NIC
+/// existed for the prototype — kept in the catalog for what-if studies.
+inline SfpSpec sfp28_er() {
+  return {.name = "SFP28-ER",
+          .wavelength_nm = 1550.0,
+          .tx_power_dbm = 3.0,
+          .rx_sensitivity_dbm = -21.0,
+          .line_rate_gbps = 25.0,
+          .goodput_gbps = 23.5,
+          .link_up_delay_s = 2.0};
+}
+
+/// Erbium-doped fiber amplifier.  Only amplifies in the C-band around
+/// 1550 nm; returns 0 gain for other wavelengths (the 25G LR design cannot
+/// use it).
+struct Edfa {
+  double gain_db = 17.0;
+  double min_wavelength_nm = 1525.0;
+  double max_wavelength_nm = 1575.0;
+
+  double gain_for(double wavelength_nm) const noexcept {
+    return (wavelength_nm >= min_wavelength_nm &&
+            wavelength_nm <= max_wavelength_nm)
+               ? gain_db
+               : 0.0;
+  }
+};
+
+}  // namespace cyclops::optics

@@ -1,0 +1,45 @@
+#include "optics/wdm.hpp"
+
+namespace cyclops::optics {
+
+WdmTransceiver qsfp_lr4() {
+  WdmTransceiver t;
+  t.name = "QSFP-40G-LR4";
+  for (double wl : {1271.0, 1291.0, 1311.0, 1331.0}) {
+    t.lanes.push_back({wl, 10.3, 1.0, -13.0});
+  }
+  return t;
+}
+
+WdmTransceiver qsfp28_lr4() {
+  WdmTransceiver t;
+  t.name = "QSFP28-100G-LR4";
+  for (double wl : {1271.0, 1291.0, 1311.0, 1331.0}) {
+    t.lanes.push_back({wl, 25.8, 2.0, -10.5});
+  }
+  return t;
+}
+
+WdmLinkReport evaluate_wdm_link(const WdmTransceiver& transceiver,
+                                const CollimatorChromatics& collimator,
+                                double shared_coupling_loss_db) {
+  WdmLinkReport report;
+  report.lanes.reserve(transceiver.lanes.size());
+  for (const auto& lane : transceiver.lanes) {
+    WdmLaneReport r;
+    r.wavelength_nm = lane.wavelength_nm;
+    r.rx_power_dbm = lane.tx_power_dbm - shared_coupling_loss_db -
+                     collimator.penalty_db(lane.wavelength_nm);
+    r.margin_db = r.rx_power_dbm - lane.rx_sensitivity_dbm;
+    r.up = r.margin_db >= 0.0;
+    r.rate_gbps = r.up ? lane.rate_gbps : 0.0;
+    if (r.up) {
+      ++report.lanes_up;
+      report.aggregate_rate_gbps += lane.rate_gbps;
+    }
+    report.lanes.push_back(r);
+  }
+  return report;
+}
+
+}  // namespace cyclops::optics

@@ -1,0 +1,87 @@
+// Multi-wavelength (WDM) transceivers — the §6 path to 40G+ links.
+//
+// "For higher-bandwidth (40Gbps+) links, our designed TP mechanism
+//  remains unchanged; however, the link would likely need customized
+//  collimators that can efficiently capture a range of wavelengths
+//  because the high-bandwidth single-strand transceivers use multiple
+//  wavelengths [12, 13]."
+//
+// This module models exactly that: an LR4-style transceiver with four
+// lanes spread over ~60 nm, and a receive collimator whose chromatic
+// focal shift penalizes lanes away from its design wavelength — unless it
+// is an achromatic ("custom") design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "optics/coupling.hpp"
+#include "optics/sfp.hpp"
+
+namespace cyclops::optics {
+
+struct WdmLane {
+  double wavelength_nm = 1310.0;
+  double rate_gbps = 10.0;
+  double tx_power_dbm = 0.0;
+  double rx_sensitivity_dbm = -13.0;
+};
+
+struct WdmTransceiver {
+  std::string name;
+  std::vector<WdmLane> lanes;
+
+  double total_rate_gbps() const {
+    double sum = 0.0;
+    for (const auto& lane : lanes) sum += lane.rate_gbps;
+    return sum;
+  }
+};
+
+/// 40GBASE-LR4: 4 x 10.3 G on the 1295-1310 nm CWDM-ish grid (modeled on
+/// the LAN-WDM 1271/1291/1311/1331 spacing for a clearer chromatic spread).
+WdmTransceiver qsfp_lr4();
+
+/// 100GBASE-LR4: 4 x 25.8 G, same grid.
+WdmTransceiver qsfp28_lr4();
+
+struct CollimatorChromatics {
+  /// Wavelength the collimator focuses perfectly (nm).
+  double design_wavelength_nm = 1301.0;
+  /// Loss per lane: coefficient * (delta_lambda / 30 nm)^2 dB.
+  /// A commodity singlet runs ~2 dB at 30 nm; an achromatic "custom"
+  /// collimator (§6) is ~0.1 dB.
+  double chromatic_coefficient_db = 2.0;
+
+  double penalty_db(double wavelength_nm) const noexcept {
+    const double d = (wavelength_nm - design_wavelength_nm) / 30.0;
+    return chromatic_coefficient_db * d * d;
+  }
+};
+
+inline CollimatorChromatics commodity_collimator() { return {1301.0, 2.0}; }
+inline CollimatorChromatics custom_achromatic_collimator() {
+  return {1301.0, 0.1};
+}
+
+struct WdmLaneReport {
+  double wavelength_nm = 0.0;
+  double rx_power_dbm = 0.0;
+  double margin_db = 0.0;
+  bool up = false;
+  double rate_gbps = 0.0;
+};
+
+struct WdmLinkReport {
+  std::vector<WdmLaneReport> lanes;
+  double aggregate_rate_gbps = 0.0;
+  int lanes_up = 0;
+};
+
+/// Per-lane link budget: shared geometric/misalignment coupling loss
+/// (from the beam geometry) plus the lane's chromatic penalty.
+WdmLinkReport evaluate_wdm_link(const WdmTransceiver& transceiver,
+                                const CollimatorChromatics& collimator,
+                                double shared_coupling_loss_db);
+
+}  // namespace cyclops::optics

@@ -1,0 +1,122 @@
+#include "sim/prototype.hpp"
+
+#include "util/units.hpp"
+
+namespace cyclops::sim {
+namespace {
+
+geom::Pose random_small_pose(util::Rng& rng, double pos_sigma,
+                             double angle_sigma) {
+  const geom::Vec3 axis =
+      geom::Vec3{rng.normal(), rng.normal(), rng.normal()}.normalized();
+  const double angle = rng.normal(0.0, angle_sigma);
+  const geom::Vec3 t{rng.normal(0.0, pos_sigma), rng.normal(0.0, pos_sigma),
+                     rng.normal(0.0, pos_sigma)};
+  return {geom::Mat3::rotation(axis, angle), t};
+}
+
+/// Pose whose rotation maps local -z onto `boresight` (unit).
+geom::Mat3 boresight_rotation(const geom::Vec3& boresight) {
+  return geom::Mat3::rotation_between({0.0, 0.0, -1.0}, boresight);
+}
+
+}  // namespace
+
+void Prototype::apply_rig_flex(util::Rng& rng) {
+  const geom::Pose flex = random_small_pose(
+      rng, config.rig_flex_position_sigma, config.rig_flex_angle_sigma);
+  scene.set_rx_mount_in_rig(rx_mount_in_rig * flex);
+}
+
+PrototypeConfig prototype_10g_config() {
+  PrototypeConfig cfg;
+  cfg.design = optics::diverging_10g(20e-3, 1.75);
+  cfg.sfp = optics::sfp_10g_zr();
+  cfg.amplifier = optics::Edfa{};
+  return cfg;
+}
+
+PrototypeConfig prototype_25g_config() {
+  PrototypeConfig cfg;
+  cfg.design = optics::diverging_25g(14e-3, 1.75);
+  cfg.sfp = optics::sfp28_lr();
+  cfg.amplifier = optics::Edfa{};  // no gain at 1310 nm
+  return cfg;
+}
+
+Prototype make_prototype(std::uint64_t seed, const PrototypeConfig& config) {
+  util::Rng rng(seed);
+
+  // Manufactured galvo units.
+  const galvo::AssemblyTolerances tol;
+  const galvo::GalvoParams nominal = galvo::nominal_params();
+  const galvo::GalvoParams tx_truth = galvo::perturbed_params(nominal, tol, rng);
+  const galvo::GalvoParams rx_truth = galvo::perturbed_params(nominal, tol, rng);
+  const galvo::GalvoSpec spec = galvo::gvs102_spec();
+
+  // K-space rigs: GMA roughly board_distance in front of the board plane
+  // (z = 0), emitting toward -z, with placement error the experimenter
+  // cannot avoid.
+  const auto k_rig_pose = [&](util::Rng& r) {
+    const geom::Pose nominal_pose{geom::Mat3::identity(),
+                                  {0.0, 0.0, config.board_distance}};
+    return nominal_pose * random_small_pose(r, 2e-3, util::deg_to_rad(0.5));
+  };
+  const geom::Pose k_from_tx = k_rig_pose(rng);
+  const geom::Pose k_from_rx = k_rig_pose(rng);
+
+  // World geometry.
+  const geom::Vec3 to_rig =
+      (config.rig_position - config.tx_position).normalized();
+  const geom::Pose tx_mount{boresight_rotation(to_rig), config.tx_position};
+
+  const geom::Vec3 rig_to_tx =
+      (config.tx_position - config.rig_position).normalized();
+  // Rig frame: +z looks at the TX from the nominal position.
+  const geom::Pose rig_pose{
+      geom::Mat3::rotation_between({0.0, 0.0, 1.0}, rig_to_tx),
+      config.rig_position};
+
+  // RX GMA on the breadboard: local -z points along rig +z (toward TX),
+  // mounted slightly off the rig origin like the real breadboard.
+  const geom::Pose rx_mount{
+      boresight_rotation({0.0, 0.0, 1.0}),
+      geom::Vec3{0.04, 0.06, 0.02}};
+
+  // Hidden tracker frames: an arbitrary VR-space and an unknown point X
+  // inside the headset.
+  const geom::Pose vr_from_world =
+      random_small_pose(rng, 0.8, util::deg_to_rad(25.0));
+  const geom::Pose x_from_rig =
+      geom::Pose{geom::Mat3::identity(), {0.0, 0.12, 0.08}} *
+      random_small_pose(rng, 0.02, util::deg_to_rad(10.0));
+
+  SceneConfig scene_config{config.design, config.sfp, config.amplifier,
+                           15e-3};
+  Scene scene(scene_config,
+              galvo::GmaPhysical(galvo::GalvoMirror(tx_truth, spec), tx_mount),
+              galvo::GmaPhysical(galvo::GalvoMirror(rx_truth, spec), rx_mount),
+              rig_pose);
+
+  tracking::VrhTracker tracker(config.tracker, vr_from_world, x_from_rig,
+                               rng.split());
+
+  Prototype proto{
+      .scene_config = scene_config,
+      .scene = std::move(scene),
+      .tracker = std::move(tracker),
+      .tx_galvo_truth = tx_truth,
+      .rx_galvo_truth = rx_truth,
+      .k_from_tx_gma = k_from_tx,
+      .k_from_rx_gma = k_from_rx,
+      .true_map_tx = vr_from_world * tx_mount * k_from_tx.inverse(),
+      .true_map_rx = x_from_rig.inverse() * rx_mount * k_from_rx.inverse(),
+      .vr_from_world = vr_from_world,
+      .x_from_rig = x_from_rig,
+      .nominal_rig_pose = rig_pose,
+      .rx_mount_in_rig = rx_mount,
+      .config = config};
+  return proto;
+}
+
+}  // namespace cyclops::sim

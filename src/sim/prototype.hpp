@@ -1,0 +1,67 @@
+// Assembles a complete Cyclops prototype rig with one seed:
+// manufactured (perturbed) galvo units, K-space calibration rigs, the
+// deployed scene geometry, the VRH tracker with its hidden frames, and —
+// for evaluation only — the ground-truth mapping poses that Stage 2 is
+// supposed to recover.
+#pragma once
+
+#include "galvo/factory.hpp"
+#include "sim/scene.hpp"
+#include "tracking/vrh_tracker.hpp"
+#include "util/rng.hpp"
+
+namespace cyclops::sim {
+
+struct PrototypeConfig {
+  optics::LinkDesign design;
+  optics::SfpSpec sfp;
+  optics::Edfa amplifier;
+  /// Distance from the GMA to the calibration board in its K-space rig.
+  double board_distance = 1.5;
+  /// TX ceiling-mount position (world).
+  geom::Vec3 tx_position{0.0, 2.2, 0.0};
+  /// Nominal RX rig position (world) — head height.
+  geom::Vec3 rig_position{0.0, 0.8, 1.2};
+  /// Breadboard-flex jitter of the RX GMA inside the rig (models the
+  /// paper's "RX-GMA relative position may not be perfectly fixed").
+  double rig_flex_position_sigma = 0.5e-3;
+  double rig_flex_angle_sigma = 1.0e-3;
+  tracking::TrackerConfig tracker;
+};
+
+struct Prototype {
+  SceneConfig scene_config;
+  Scene scene;
+  tracking::VrhTracker tracker;
+
+  // --- Ground truth, for sample generation and evaluation only. ---
+  galvo::GalvoParams tx_galvo_truth;
+  galvo::GalvoParams rx_galvo_truth;
+  /// Pose of each GMA in its K-space calibration rig (local -> K).
+  geom::Pose k_from_tx_gma;
+  geom::Pose k_from_rx_gma;
+  /// True Stage-2 mapping parameters: K_tx -> VR-space and K_rx -> X-frame.
+  geom::Pose true_map_tx;
+  geom::Pose true_map_rx;
+  /// Hidden tracker frames.
+  geom::Pose vr_from_world;
+  geom::Pose x_from_rig;
+  geom::Pose nominal_rig_pose;
+  /// Baseline RX mount inside the rig (before flex).
+  geom::Pose rx_mount_in_rig;
+
+  PrototypeConfig config;
+
+  /// Re-jitters the RX GMA mount slightly around its baseline (breadboard
+  /// flex between calibration samples).
+  void apply_rig_flex(util::Rng& rng);
+};
+
+/// Builds a prototype with the 10G diverging design by default.
+Prototype make_prototype(std::uint64_t seed, const PrototypeConfig& config);
+
+/// Convenience configs matching the paper's two prototypes.
+PrototypeConfig prototype_10g_config();
+PrototypeConfig prototype_25g_config();
+
+}  // namespace cyclops::sim

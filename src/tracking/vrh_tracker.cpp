@@ -1,0 +1,62 @@
+#include "tracking/vrh_tracker.hpp"
+
+#include "geom/mat3.hpp"
+
+namespace cyclops::tracking {
+
+VrhTracker::VrhTracker(TrackerConfig config, geom::Pose vr_from_world,
+                       geom::Pose x_from_rig, util::Rng rng)
+    : config_(config),
+      vr_from_world_(std::move(vr_from_world)),
+      x_from_rig_(std::move(x_from_rig)),
+      rng_(rng) {}
+
+util::SimTimeUs VrhTracker::next_capture_time(util::SimTimeUs now) {
+  if (!scheduled_ || next_capture_ < now) {
+    double gap_ms;
+    if (rng_.uniform() < config_.outlier_prob) {
+      gap_ms = config_.outlier_period_ms + rng_.uniform(-0.5, 0.5);
+    } else {
+      gap_ms = config_.period_ms +
+               rng_.uniform(-config_.period_jitter_ms, config_.period_jitter_ms);
+    }
+    next_capture_ = now + util::us_from_ms(gap_ms);
+    scheduled_ = true;
+  }
+  return next_capture_;
+}
+
+geom::Pose VrhTracker::ideal_report(const geom::Pose& rig_world_pose) const {
+  return vr_from_world_ * rig_world_pose * x_from_rig_;
+}
+
+PoseReport VrhTracker::report(util::SimTimeUs capture_time,
+                              const geom::Pose& rig_world_pose,
+                              const geom::Pose& lagged_rig_pose) {
+  PoseReport out;
+  out.capture_time = capture_time;
+  out.delivery_time =
+      capture_time + util::us_from_ms(config_.report_latency_ms);
+
+  // Orientation is current (gyro); position is stale (fused translation).
+  const geom::Pose effective{rig_world_pose.rotation(),
+                             lagged_rig_pose.translation()};
+  const geom::Pose ideal = ideal_report(effective);
+  // Position noise: independent per-axis Gaussian.
+  const geom::Vec3 dt{rng_.normal(0.0, config_.position_noise_m),
+                      rng_.normal(0.0, config_.position_noise_m),
+                      rng_.normal(0.0, config_.position_noise_m)};
+  // Orientation noise: small random rotation.
+  const geom::Vec3 axis =
+      geom::Vec3{rng_.normal(), rng_.normal(), rng_.normal()}.normalized();
+  const double angle = rng_.normal(0.0, config_.orientation_noise_rad);
+  const geom::Mat3 dr = geom::Mat3::rotation(axis, angle);
+
+  out.pose = geom::Pose{dr * ideal.rotation(), ideal.translation() + dt};
+  out.lost = config_.report_loss_prob > 0.0 &&
+             rng_.uniform() < config_.report_loss_prob;
+  scheduled_ = false;  // consume the scheduled slot
+  return out;
+}
+
+}  // namespace cyclops::tracking

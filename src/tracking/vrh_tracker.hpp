@@ -1,0 +1,99 @@
+// VRH built-in tracking system (VRH-T) simulator.
+//
+// Models the Oculus Rift S inside-out tracker as the paper characterizes it
+// (§3, §5.2):
+//
+//  * Reports arrive every 12-13 ms, with ~0.7 % of gaps stretching to
+//    14-15 ms.
+//  * The reported pose is the pose of *some unknown point X inside the
+//    VRH*, expressed in an *unknown coordinate space* (VR-space).  Both
+//    indirections are modeled explicitly — vr_from_world and x_from_rig
+//    are hidden from the TP learner, which must absorb them into the
+//    Stage-2 mapping parameters.
+//  * The report is noisy: over 30 stationary minutes the paper saw the
+//    location wander by up to 1.79 mm and the orientation by 0.41 mrad;
+//    defaults below give that spread for per-report Gaussian noise.
+#pragma once
+
+#include "geom/pose.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::tracking {
+
+struct TrackerConfig {
+  double period_ms = 12.5;        ///< Nominal report period.
+  double period_jitter_ms = 0.5;  ///< Uniform jitter around the period.
+  double outlier_prob = 0.007;    ///< Probability of a 14-15 ms gap.
+  double outlier_period_ms = 14.5;
+  double position_noise_m = 0.21e-3;   ///< Per-axis sigma.
+  double orientation_noise_rad = 0.048e-3;  ///< Rotation-angle sigma.
+  /// One-way control-channel latency for delivering the report (<1 ms).
+  double report_latency_ms = 0.5;
+  /// Probability that the RF control channel drops a report entirely
+  /// (§3 envisions e.g. a macro-cellular channel; real radios lose
+  /// packets).  A lost report simply skips one realignment.
+  double report_loss_prob = 0.0;
+  /// Effective staleness of the reported *position* during motion:
+  /// inside-out position tracking (double-integrated IMU fused with
+  /// camera frames) lags; gyro-derived *orientation* does not.  This
+  /// asymmetry is why linear motion stresses the link more per unit of
+  /// tolerance than angular motion does (§5.2's "a custom VRH-T with much
+  /// higher tracking frequency would improve Cyclops significantly").
+  double position_lag_ms = 8.0;
+};
+
+/// One VRH-T report: the pose of point X in VR-space at capture time,
+/// delivered to the controller at `delivery_time`.
+struct PoseReport {
+  util::SimTimeUs capture_time = 0;
+  util::SimTimeUs delivery_time = 0;
+  geom::Pose pose;  ///< Psi: X's pose in VR-space.
+  /// True when the control channel dropped this report — the controller
+  /// never sees it and holds the previous voltages.
+  bool lost = false;
+};
+
+class VrhTracker {
+ public:
+  /// `vr_from_world`: the hidden VR-space frame (world -> VR).
+  /// `x_from_rig`: the hidden pose of point X in the RX-rig frame.
+  VrhTracker(TrackerConfig config, geom::Pose vr_from_world,
+             geom::Pose x_from_rig, util::Rng rng);
+
+  /// Time of the next report capture at or after `now`.
+  util::SimTimeUs next_capture_time(util::SimTimeUs now);
+
+  /// Clears any scheduled capture.  Call when simulation time restarts
+  /// (each run_link_simulation begins at t = 0).
+  void reset_schedule() noexcept { scheduled_ = false; }
+
+  /// Produces the (noisy) report for the rig's true world pose.  The
+  /// position-lag model needs the rig pose `position_lag_ms` ago;
+  /// `lagged_rig_pose` supplies it (pass the current pose when the rig is
+  /// static or lag is irrelevant).
+  PoseReport report(util::SimTimeUs capture_time,
+                    const geom::Pose& rig_world_pose,
+                    const geom::Pose& lagged_rig_pose);
+
+  /// Static-rig convenience: no lag effect.
+  PoseReport report(util::SimTimeUs capture_time,
+                    const geom::Pose& rig_world_pose) {
+    return report(capture_time, rig_world_pose, rig_world_pose);
+  }
+
+  /// Noise-free report — used only by evaluation code to compute errors.
+  geom::Pose ideal_report(const geom::Pose& rig_world_pose) const;
+
+  const TrackerConfig& config() const noexcept { return config_; }
+
+ private:
+  TrackerConfig config_;
+  geom::Pose vr_from_world_;
+  geom::Pose x_from_rig_;
+  util::Rng rng_;
+  util::SimTimeUs next_capture_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace cyclops::tracking

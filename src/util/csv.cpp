@@ -1,0 +1,85 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cyclops::util {
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+void write_csv(const std::filesystem::path& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path.string());
+  out.precision(12);
+  if (!header.empty()) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (i > 0) out << ',';
+      out << header[i];
+    }
+    out << '\n';
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path.string());
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.back() == '\r') line.pop_back();
+    const auto fields = split_fields(line);
+    std::vector<double> row;
+    row.reserve(fields.size());
+    bool numeric = true;
+    for (const auto& f : fields) {
+      double v = 0.0;
+      if (!parse_double(f, v)) {
+        numeric = false;
+        break;
+      }
+      row.push_back(v);
+    }
+    if (first && !numeric) {
+      table.header = fields;
+    } else if (numeric) {
+      table.rows.push_back(std::move(row));
+    } else {
+      throw std::runtime_error("non-numeric row in " + path.string());
+    }
+    first = false;
+  }
+  return table;
+}
+
+}  // namespace cyclops::util

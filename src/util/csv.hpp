@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for traces and benchmark output.
+//
+// Only what Cyclops needs: numeric tables with an optional header row.
+// Fields never contain commas or quotes, so no escaping is implemented.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace cyclops::util {
+
+/// A parsed CSV file: header names (possibly empty) plus numeric rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Writes rows of doubles with the given header.  Throws std::runtime_error
+/// on I/O failure.
+void write_csv(const std::filesystem::path& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+/// Reads a CSV file written by write_csv (or of the same shape).
+/// If the first row contains any non-numeric field it is treated as a header.
+/// Throws std::runtime_error on I/O or parse failure.
+CsvTable read_csv(const std::filesystem::path& path);
+
+}  // namespace cyclops::util

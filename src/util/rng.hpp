@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// Cyclops simulations must be reproducible run-to-run, so every stochastic
+// component takes an explicit Rng (xoshiro256**) seeded by the caller
+// instead of reaching for a global generator.
+#pragma once
+
+#include <cstdint>
+
+namespace cyclops::util {
+
+/// Small, fast, splittable PRNG (xoshiro256**).  Satisfies the needs of the
+/// simulator: uniform doubles, Gaussians, and integer ranges.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// A new independent generator derived from this one's stream.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cyclops::util

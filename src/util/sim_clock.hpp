@@ -1,0 +1,33 @@
+// Simulation time.  All Cyclops simulators share one monotonically advancing
+// clock measured in integer microseconds to avoid floating-point drift when
+// stepping millions of 1 ms slots.
+#pragma once
+
+#include <cstdint>
+
+namespace cyclops::util {
+
+/// Simulation timestamp / duration in microseconds.
+using SimTimeUs = std::int64_t;
+
+constexpr SimTimeUs us_from_ms(double ms) noexcept {
+  return static_cast<SimTimeUs>(ms * 1e3);
+}
+constexpr SimTimeUs us_from_s(double s) noexcept {
+  return static_cast<SimTimeUs>(s * 1e6);
+}
+constexpr double us_to_s(SimTimeUs t) noexcept { return static_cast<double>(t) * 1e-6; }
+constexpr double us_to_ms(SimTimeUs t) noexcept { return static_cast<double>(t) * 1e-3; }
+
+/// Monotonic simulation clock.
+class SimClock {
+ public:
+  SimTimeUs now() const noexcept { return now_; }
+  void advance(SimTimeUs dt) noexcept { now_ += dt; }
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  SimTimeUs now_ = 0;
+};
+
+}  // namespace cyclops::util

@@ -1,0 +1,30 @@
+// Fixed-width text table printer used by the benchmark harness to emit
+// paper-style tables (Table 1, Table 2, Table 3, ...).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cyclops::util {
+
+/// Accumulates rows of strings and prints them column-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with a header separator to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cyclops::util

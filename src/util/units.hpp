@@ -1,0 +1,50 @@
+// Unit conversions used throughout Cyclops.
+//
+// Conventions: distances in meters, angles in radians, power in dBm or
+// milliwatts, time in seconds unless a suffix says otherwise.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace cyclops::util {
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// Degrees -> radians.
+constexpr double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+
+/// Radians -> degrees.
+constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// Milliradians -> radians.
+constexpr double mrad_to_rad(double mrad) noexcept { return mrad * 1e-3; }
+
+/// Radians -> milliradians.
+constexpr double rad_to_mrad(double rad) noexcept { return rad * 1e3; }
+
+/// Millimeters -> meters.
+constexpr double mm_to_m(double mm) noexcept { return mm * 1e-3; }
+
+/// Meters -> millimeters.
+constexpr double m_to_mm(double m) noexcept { return m * 1e3; }
+
+/// Power in dBm -> milliwatts.
+inline double dbm_to_mw(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
+
+/// Power in milliwatts -> dBm.
+inline double mw_to_dbm(double mw) noexcept { return 10.0 * std::log10(mw); }
+
+/// Dimensionless linear power ratio -> decibels.
+inline double ratio_to_db(double ratio) noexcept { return 10.0 * std::log10(ratio); }
+
+/// Decibels -> dimensionless linear power ratio.
+inline double db_to_ratio(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+/// Gigabits-per-second -> bits-per-second.
+constexpr double gbps_to_bps(double gbps) noexcept { return gbps * 1e9; }
+
+/// Bits-per-second -> gigabits-per-second.
+constexpr double bps_to_gbps(double bps) noexcept { return bps * 1e-9; }
+
+}  // namespace cyclops::util

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "net/adaptive_stream.hpp"
+
+namespace cyclops::net {
+namespace {
+
+constexpr util::SimTimeUs kSlot = 1000;
+
+AdaptiveConfig fast_config() {
+  AdaptiveConfig config;
+  config.window = 100000;    // 0.1 s for snappy tests
+  config.min_dwell = 200000;  // 0.2 s
+  return config;
+}
+
+TEST(AdaptiveStreamTest, StaysRawOnHealthyLink) {
+  AdaptiveStreamController controller(fast_config());
+  for (util::SimTimeUs t = kSlot; t < 2000000; t += kSlot) {
+    EXPECT_EQ(controller.step(t, 23.5), StreamMode::kRaw);
+  }
+  EXPECT_EQ(controller.mode_switches(), 0);
+}
+
+TEST(AdaptiveStreamTest, DowngradesOnOutage) {
+  AdaptiveStreamController controller(fast_config());
+  util::SimTimeUs t = kSlot;
+  for (; t < 500000; t += kSlot) controller.step(t, 23.5);
+  // Link dies.
+  for (; t < 1500000; t += kSlot) controller.step(t, 0.0);
+  EXPECT_EQ(controller.mode(), StreamMode::kCompressed);
+  EXPECT_DOUBLE_EQ(controller.current_rate_gbps(), 0.4);
+  EXPECT_GT(controller.current_decode_latency_ms(), 0.0);
+}
+
+TEST(AdaptiveStreamTest, UpgradesAfterRecovery) {
+  AdaptiveStreamController controller(fast_config());
+  util::SimTimeUs t = kSlot;
+  for (; t < 500000; t += kSlot) controller.step(t, 23.5);
+  for (; t < 1200000; t += kSlot) controller.step(t, 0.0);
+  ASSERT_EQ(controller.mode(), StreamMode::kCompressed);
+  for (; t < 3000000; t += kSlot) controller.step(t, 23.5);
+  EXPECT_EQ(controller.mode(), StreamMode::kRaw);
+  EXPECT_EQ(controller.mode_switches(), 2);
+}
+
+TEST(AdaptiveStreamTest, DwellPreventsFlapping) {
+  AdaptiveConfig config = fast_config();
+  config.min_dwell = 5000000;  // 5 s
+  AdaptiveStreamController controller(config);
+  // Alternate good/bad every 0.3 s for 4 s: at most one switch can fire.
+  util::SimTimeUs t = kSlot;
+  bool good = true;
+  util::SimTimeUs phase_start = 0;
+  for (; t < 4000000; t += kSlot) {
+    if (t - phase_start > 300000) {
+      good = !good;
+      phase_start = t;
+    }
+    controller.step(t, good ? 23.5 : 0.0);
+  }
+  EXPECT_LE(controller.mode_switches(), 1);
+}
+
+TEST(AdaptiveStreamTest, PartialCapacityCountsProportionally) {
+  // A link at 50 % of the raw demand must trigger the downgrade.
+  AdaptiveStreamController controller(fast_config());
+  util::SimTimeUs t = kSlot;
+  for (; t < 2000000; t += kSlot) controller.step(t, 10.0);
+  EXPECT_EQ(controller.mode(), StreamMode::kCompressed);
+}
+
+}  // namespace
+}  // namespace cyclops::net

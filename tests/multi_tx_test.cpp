@@ -1,0 +1,122 @@
+// Tests for the multi-TX rig and the session log.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "link/multi_tx.hpp"
+#include "link/session_log.hpp"
+#include "motion/profile.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::link {
+namespace {
+
+class MultiTxFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chains_ = new std::vector<TxChain>();
+    chains_->push_back(
+        make_tx_chain(42, {0.0, 2.2, 0.0}, sim::prototype_10g_config()));
+    chains_->push_back(
+        make_tx_chain(43, {0.5, 2.2, 0.25}, sim::prototype_10g_config()));
+  }
+  static void TearDownTestSuite() {
+    delete chains_;
+    chains_ = nullptr;
+  }
+  static std::vector<TxChain>* chains_;
+};
+
+std::vector<TxChain>* MultiTxFixture::chains_ = nullptr;
+
+TEST_F(MultiTxFixture, BothChainsUsableWithoutOcclusion) {
+  const motion::StillMotion profile(
+      (*chains_)[0].proto.nominal_rig_pose, 3.0);
+  const MultiTxResult result = run_multi_tx_session(
+      *chains_, profile, MultiTxConfig{}, nullptr);
+  ASSERT_EQ(result.per_tx_usable_fraction.size(), 2u);
+  EXPECT_GT(result.per_tx_usable_fraction[0], 0.95);
+  EXPECT_GT(result.per_tx_usable_fraction[1], 0.95);
+  EXPECT_GT(result.served_fraction, 0.95);
+  EXPECT_EQ(result.switches, 0);
+}
+
+TEST_F(MultiTxFixture, HandoverBeatsBestSingleTxUnderOcclusion) {
+  const motion::StillMotion profile(
+      (*chains_)[0].proto.nominal_rig_pose, 12.0);
+  // TX0 blocked during [1, 5) s and [8, 11) s; TX1 blocked during [5, 7):
+  // no single TX sees more than ~10/12 of the session unobstructed.
+  const auto occlusion = [](util::SimTimeUs now, std::size_t tx) {
+    const double t = util::us_to_s(now);
+    if (tx == 0) return (t >= 1.0 && t < 5.0) || (t >= 8.0 && t < 11.0);
+    return t >= 5.0 && t < 7.0;
+  };
+  MultiTxConfig config;
+  config.handover.switch_delay_s = 0.1;
+  const MultiTxResult result =
+      run_multi_tx_session(*chains_, profile, config, occlusion);
+  EXPECT_GT(result.served_fraction, result.best_single_tx_fraction + 0.08);
+  EXPECT_GT(result.served_fraction, 0.9);
+  EXPECT_GE(result.switches, 2);
+}
+
+TEST_F(MultiTxFixture, EmptyChainListIsSafe) {
+  std::vector<TxChain> none;
+  const motion::StillMotion profile(geom::Pose::identity(), 1.0);
+  const MultiTxResult result =
+      run_multi_tx_session(none, profile, MultiTxConfig{}, nullptr);
+  EXPECT_DOUBLE_EQ(result.served_fraction, 0.0);
+}
+
+// ---- SessionLog ----
+
+TEST(SessionLogTest, RecordsTransitions) {
+  SessionLog log;
+  log.on_slot(0, true, -10.0);
+  log.on_slot(1000, true, -10.0);
+  log.on_slot(2000, false, -40.0);
+  log.on_slot(3000, false, -40.0);
+  log.on_slot(4000, true, -10.0);
+  EXPECT_EQ(log.count(SessionEventKind::kLinkUp), 2);  // initial + recovery
+  EXPECT_EQ(log.count(SessionEventKind::kLinkDown), 1);
+}
+
+TEST(SessionLogTest, LongestOutage) {
+  SessionLog log;
+  log.on_slot(0, true, -10.0);
+  log.on_slot(util::us_from_s(1.0), false, -40.0);
+  log.on_slot(util::us_from_s(3.5), true, -10.0);
+  log.on_slot(util::us_from_s(4.0), false, -40.0);
+  log.on_slot(util::us_from_s(4.5), true, -10.0);
+  EXPECT_NEAR(log.longest_outage_s(), 2.5, 1e-9);
+}
+
+TEST(SessionLogTest, OpenEndedOutageCounts) {
+  SessionLog log;
+  log.on_slot(0, true, -10.0);
+  log.on_slot(util::us_from_s(1.0), false, -40.0);
+  log.on_slot(util::us_from_s(4.0), false, -40.0);
+  EXPECT_NEAR(log.longest_outage_s(), 3.0, 1e-9);
+}
+
+TEST(SessionLogTest, SavesCsvPair) {
+  SessionLog log;
+  log.on_slot(0, true, -10.0);
+  log.on_slot(1000, false, -40.0);
+  RunResult run;
+  WindowSample w;
+  w.t_s = 0.0;
+  w.throughput_gbps = 9.4;
+  run.windows.push_back(w);
+  log.finish(run);
+
+  const auto stem = std::filesystem::temp_directory_path() / "cyclops_log";
+  log.save(stem);
+  EXPECT_TRUE(std::filesystem::exists(stem.string() + "_windows.csv"));
+  EXPECT_TRUE(std::filesystem::exists(stem.string() + "_events.csv"));
+  std::filesystem::remove(stem.string() + "_windows.csv");
+  std::filesystem::remove(stem.string() + "_events.csv");
+}
+
+}  // namespace
+}  // namespace cyclops::link

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/frame_source.hpp"
+#include "net/streamer.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::net {
+namespace {
+
+constexpr util::SimTimeUs kSlot = 1000;  // 1 ms
+
+/// Drives source + streamer for `duration` with a capacity function.
+template <typename CapacityFn>
+StreamStats drive(FrameSource& source, FrameStreamer& streamer,
+                  util::SimTimeUs duration, const CapacityFn& capacity) {
+  for (util::SimTimeUs now = 0; now < duration; now += kSlot) {
+    while (const auto frame = source.poll(now)) streamer.offer(*frame);
+    streamer.step(now, kSlot, capacity(now));
+  }
+  return streamer.stats();
+}
+
+// ---- FrameSource ----
+
+TEST(FrameSourceTest, EmitsAtConfiguredRate) {
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 20.0},
+                     util::Rng(1));
+  int frames = 0;
+  for (util::SimTimeUs now = 0; now < util::us_from_s(1.0); now += kSlot) {
+    while (source.poll(now)) ++frames;
+  }
+  EXPECT_NEAR(frames, 90, 2);
+}
+
+TEST(FrameSourceTest, FrameSizeMatchesBitrate) {
+  FrameSourceConfig config{.fps = 90.0, .stream_rate_gbps = 20.0};
+  EXPECT_NEAR(config.mean_frame_bits(), 20e9 / 90.0, 1.0);
+  FrameSource source(config, util::Rng(1));
+  const auto frame = source.poll(0);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_DOUBLE_EQ(frame->bits, config.mean_frame_bits());
+}
+
+TEST(FrameSourceTest, JitterVariesSizes) {
+  FrameSource source(
+      {.fps = 90.0, .stream_rate_gbps = 20.0, .size_jitter = 0.05},
+      util::Rng(2));
+  const auto a = source.poll(0);
+  const auto b = source.poll(util::us_from_s(1.0));
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->bits, b->bits);
+  EXPECT_GT(a->bits, 0.0);
+}
+
+TEST(FrameSourceTest, MonotoneIdsAndTimes) {
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 20.0},
+                     util::Rng(3));
+  util::SimTimeUs prev_time = -1;
+  std::int64_t prev_id = -1;
+  for (util::SimTimeUs now = 0; now < util::us_from_s(0.5); now += kSlot) {
+    while (const auto f = source.poll(now)) {
+      EXPECT_GT(f->id, prev_id);
+      EXPECT_GT(f->render_time, prev_time);
+      prev_id = f->id;
+      prev_time = f->render_time;
+    }
+  }
+}
+
+TEST(FrameSourceTest, NotDueReturnsNull) {
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 20.0},
+                     util::Rng(4));
+  ASSERT_TRUE(source.poll(0).has_value());
+  EXPECT_FALSE(source.poll(1).has_value());  // next frame ~11.1 ms away
+}
+
+// ---- FrameStreamer ----
+
+TEST(StreamerTest, AmpleCapacityDeliversEverything) {
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 20.0},
+                     util::Rng(5));
+  FrameStreamer streamer({});
+  const auto stats = drive(source, streamer, util::us_from_s(2.0),
+                           [](util::SimTimeUs) { return 23.5; });
+  EXPECT_GT(stats.frames_offered, 170);
+  EXPECT_EQ(stats.frames_dropped, 0);
+  EXPECT_NEAR(stats.delivery_rate(), 1.0, 0.02);
+  EXPECT_EQ(stats.freeze_events, 0);
+}
+
+TEST(StreamerTest, DeliveryLatencyReflectsServiceTime) {
+  // 222 Mbit frame at 23.5 Gbps ~ 9.4 ms on the wire (+overhead).
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 20.0},
+                     util::Rng(6));
+  FrameStreamer streamer({});
+  const auto stats = drive(source, streamer, util::us_from_s(2.0),
+                           [](util::SimTimeUs) { return 23.5; });
+  EXPECT_GT(stats.avg_delivery_latency_ms, 5.0);
+  EXPECT_LT(stats.avg_delivery_latency_ms, 15.0);
+}
+
+TEST(StreamerTest, DeadLinkDropsEverything) {
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 20.0},
+                     util::Rng(7));
+  FrameStreamer streamer({});
+  const auto stats = drive(source, streamer, util::us_from_s(1.0),
+                           [](util::SimTimeUs) { return 0.0; });
+  EXPECT_EQ(stats.frames_delivered, 0);
+  EXPECT_GT(stats.frames_dropped, 70);
+  EXPECT_EQ(stats.freeze_events, 1);
+  EXPECT_GT(stats.longest_freeze_frames, 70);
+}
+
+TEST(StreamerTest, OutageCausesOneFreezeThenRecovers) {
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 20.0},
+                     util::Rng(8));
+  FrameStreamer streamer({});
+  // 0.3 s outage in the middle of 2 s.
+  const auto capacity = [](util::SimTimeUs now) {
+    const bool out = now > util::us_from_s(1.0) &&
+                     now < util::us_from_s(1.3);
+    return out ? 0.0 : 23.5;
+  };
+  const auto stats =
+      drive(source, streamer, util::us_from_s(2.0), capacity);
+  EXPECT_EQ(stats.freeze_events, 1);
+  EXPECT_GT(stats.frames_dropped, 15);
+  EXPECT_LT(stats.frames_dropped, 45);
+  EXPECT_GT(stats.delivery_rate(), 0.7);
+}
+
+TEST(StreamerTest, OverSubscribedLinkDegrades) {
+  // Stream faster than the link: some frames must miss deadlines.
+  FrameSource source({.fps = 90.0, .stream_rate_gbps = 30.0},
+                     util::Rng(9));
+  FrameStreamer streamer({});
+  const auto stats = drive(source, streamer, util::us_from_s(2.0),
+                           [](util::SimTimeUs) { return 23.5; });
+  EXPECT_LT(stats.delivery_rate(), 0.95);
+  EXPECT_GT(stats.frames_dropped, 0);
+}
+
+TEST(StreamerTest, DeadlineEnforced) {
+  FrameSourceConfig config{.fps = 90.0, .stream_rate_gbps = 20.0};
+  FrameSource source(config, util::Rng(10));
+  StreamerConfig sc;
+  sc.deadline = util::us_from_ms(5.0);  // tighter than the service time
+  FrameStreamer streamer(sc);
+  const auto stats = drive(source, streamer, util::us_from_s(1.0),
+                           [](util::SimTimeUs) { return 23.5; });
+  // ~9.4 ms service > 5 ms deadline: nothing can make it.
+  EXPECT_EQ(stats.frames_delivered, 0);
+}
+
+TEST(StreamerTest, QueueDrainsInOrder) {
+  FrameStreamer streamer({});
+  Frame a{0, 0, 1e6};
+  Frame b{1, 0, 1e6};
+  streamer.offer(a);
+  streamer.offer(b);
+  EXPECT_EQ(streamer.queue_depth(), 2u);
+  // Per slot: 1.05 Gbps * 1 ms = 1.05 Mbit = exactly one frame including
+  // its 5 % overhead.
+  streamer.step(0, kSlot, 1.05);
+  EXPECT_EQ(streamer.queue_depth(), 1u);
+  streamer.step(kSlot, kSlot, 1.05);
+  EXPECT_EQ(streamer.queue_depth(), 0u);
+  EXPECT_EQ(streamer.stats().frames_delivered, 2);
+}
+
+}  // namespace
+}  // namespace cyclops::net

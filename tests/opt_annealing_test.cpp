@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/annealing.hpp"
+#include "opt/levmar.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::opt {
+namespace {
+
+TEST(AnnealingTest, FindsQuadraticMinimum) {
+  util::Rng rng(1);
+  const auto fn = [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  AnnealingOptions options;
+  options.iterations = 30000;
+  const auto result = simulated_annealing(fn, {10.0, 10.0}, options, rng);
+  EXPECT_NEAR(result.params[0], 3.0, 0.1);
+  EXPECT_NEAR(result.params[1], -1.0, 0.1);
+}
+
+TEST(AnnealingTest, EscapesLocalMinimum) {
+  // Double well: local minimum at x = -1 (value 0.5), global at x = +2
+  // (value 0).  Gradient descent from -1.2 stays trapped; annealing must
+  // cross the barrier.
+  util::Rng rng(2);
+  const auto fn = [](std::span<const double> x) {
+    const double a = (x[0] + 1.0);
+    const double b = (x[0] - 2.0);
+    return std::min(0.5 + a * a, b * b);
+  };
+  AnnealingOptions options;
+  options.iterations = 40000;
+  options.default_step = 0.8;
+  const auto result = simulated_annealing(fn, {-1.2}, options, rng);
+  EXPECT_NEAR(result.params[0], 2.0, 0.2);
+  EXPECT_LT(result.value, 0.1);
+}
+
+TEST(AnnealingTest, MultiModalRastrigin2d) {
+  util::Rng rng(3);
+  const auto fn = [](std::span<const double> x) {
+    double s = 20.0;
+    for (double xi : x) {
+      s += xi * xi - 10.0 * std::cos(2.0 * util::kPi * xi);
+    }
+    return s;
+  };
+  AnnealingOptions options;
+  options.iterations = 60000;
+  options.default_step = 0.5;
+  const auto result = simulated_annealing(fn, {3.3, -2.7}, options, rng);
+  // Reaching one of the near-origin wells is success for this landscape.
+  EXPECT_LT(result.value, 2.5);
+}
+
+TEST(AnnealingTest, RespectsEvaluationAccounting) {
+  util::Rng rng(4);
+  int calls = 0;
+  const auto fn = [&calls](std::span<const double> x) {
+    ++calls;
+    return x[0] * x[0];
+  };
+  AnnealingOptions options;
+  options.iterations = 500;
+  const auto result = simulated_annealing(fn, {1.0}, options, rng);
+  EXPECT_EQ(result.evaluations, calls);
+  EXPECT_EQ(result.evaluations, 501);
+  EXPECT_GT(result.accepted, 0);
+}
+
+TEST(AnnealingTest, AnnealThenPolishBeatsLmAloneFromBadStart) {
+  // The intended Stage-2 usage pattern: a rugged residual landscape where
+  // LM from a bad start stalls in a side valley.
+  const auto rugged = [](std::span<const double> x) {
+    const double base = (x[0] - 4.0) * (x[0] - 4.0) +
+                        (x[1] - 1.0) * (x[1] - 1.0);
+    const double ripple =
+        2.0 * std::sin(3.0 * x[0]) * std::sin(3.0 * x[1]);
+    return base + ripple + 2.0;
+  };
+  const ResidualFn residuals = [&](std::span<const double> p,
+                                   std::vector<double>& r) {
+    r = {std::sqrt(std::max(rugged(p), 0.0))};
+  };
+
+  const std::vector<double> bad_start{-4.0, -4.0};
+  const auto lm_only = levenberg_marquardt(residuals, bad_start);
+
+  util::Rng rng(5);
+  AnnealingOptions options;
+  options.iterations = 30000;
+  options.default_step = 1.0;
+  const auto annealed = simulated_annealing(rugged, bad_start, options, rng);
+  const auto polished = levenberg_marquardt(residuals, annealed.params);
+
+  EXPECT_LE(polished.final_cost, lm_only.final_cost + 1e-9);
+  EXPECT_LT(polished.final_cost, 1.0);  // near the global basin
+}
+
+}  // namespace
+}  // namespace cyclops::opt

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tracking/predictor.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::tracking {
+namespace {
+
+PoseReport report_at(double t_ms, const geom::Pose& pose) {
+  PoseReport r;
+  r.capture_time = util::us_from_ms(t_ms);
+  r.delivery_time = r.capture_time + 500;
+  r.pose = pose;
+  return r;
+}
+
+TEST(ScalarKalmanTest, ConvergesToConstantVelocity) {
+  ScalarCvKalman kalman{PredictorConfig{}};
+  const double v = 0.25;  // m/s
+  for (int i = 0; i < 40; ++i) {
+    const double t = 0.0125 * i;
+    kalman.update(t, v * t);
+  }
+  EXPECT_NEAR(kalman.velocity(), v, 0.01);
+  // Extrapolate 15 ms ahead.
+  const double t_pred = 0.0125 * 39 + 0.015;
+  EXPECT_NEAR(kalman.predict(t_pred), v * t_pred, 0.5e-3);
+}
+
+TEST(ScalarKalmanTest, StationarySignalStaysPut) {
+  ScalarCvKalman kalman{PredictorConfig{}};
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    kalman.update(0.0125 * i, 1.0 + rng.normal(0.0, 0.2e-3));
+  }
+  EXPECT_NEAR(kalman.velocity(), 0.0, 0.02);
+  EXPECT_NEAR(kalman.predict(0.0125 * 99 + 0.02), 1.0, 1e-3);
+}
+
+TEST(ScalarKalmanTest, AdaptsAfterVelocityChange) {
+  ScalarCvKalman kalman{PredictorConfig{}};
+  double x = 0.0;
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t += 0.0125;
+    x += 0.2 * 0.0125;
+    kalman.update(t, x);
+  }
+  // Reverse direction; within ~10 reports the velocity should flip.
+  for (int i = 0; i < 12; ++i) {
+    t += 0.0125;
+    x -= 0.2 * 0.0125;
+    kalman.update(t, x);
+  }
+  EXPECT_LT(kalman.velocity(), -0.1);
+}
+
+TEST(PosePredictorTest, NeedsTwoReports) {
+  PosePredictor predictor;
+  EXPECT_FALSE(predictor.predict(util::us_from_ms(20)).has_value());
+  predictor.update(report_at(0.0, geom::Pose::identity()));
+  EXPECT_FALSE(predictor.predict(util::us_from_ms(20)).has_value());
+  predictor.update(report_at(12.5, geom::Pose::identity()));
+  EXPECT_TRUE(predictor.predict(util::us_from_ms(20)).has_value());
+}
+
+TEST(PosePredictorTest, ExtrapolatesLinearMotion) {
+  PosePredictor predictor;
+  const geom::Vec3 v{0.3, 0.0, 0.1};  // m/s
+  for (int i = 0; i < 30; ++i) {
+    const double t_ms = 12.5 * i;
+    predictor.update(report_at(
+        t_ms, geom::Pose{geom::Mat3::identity(), v * (t_ms * 1e-3)}));
+  }
+  const double t_pred_ms = 12.5 * 29 + 14.0;
+  const auto predicted = predictor.predict(util::us_from_ms(t_pred_ms));
+  ASSERT_TRUE(predicted.has_value());
+  const geom::Vec3 expected = v * (t_pred_ms * 1e-3);
+  EXPECT_LT(geom::distance(predicted->translation(), expected), 1.5e-3);
+}
+
+TEST(PosePredictorTest, ExtrapolatesRotation) {
+  PosePredictor predictor;
+  const double rate = util::deg_to_rad(20.0);  // rad/s about y
+  for (int i = 0; i < 30; ++i) {
+    const double t_ms = 12.5 * i;
+    predictor.update(report_at(
+        t_ms, geom::Pose{geom::Mat3::rotation({0, 1, 0}, rate * t_ms * 1e-3),
+                         {0, 0, 0}}));
+  }
+  const double t_pred_ms = 12.5 * 29 + 14.0;
+  const auto predicted = predictor.predict(util::us_from_ms(t_pred_ms));
+  ASSERT_TRUE(predicted.has_value());
+  const geom::Pose expected{
+      geom::Mat3::rotation({0, 1, 0}, rate * t_pred_ms * 1e-3), {0, 0, 0}};
+  EXPECT_LT(geom::rotation_distance(*predicted, expected), 2e-3);
+}
+
+TEST(PosePredictorTest, HorizonIsCapped) {
+  PredictorConfig config;
+  config.max_horizon_ms = 10.0;
+  PosePredictor predictor(config);
+  const geom::Vec3 v{1.0, 0.0, 0.0};
+  for (int i = 0; i < 20; ++i) {
+    const double t_ms = 12.5 * i;
+    predictor.update(report_at(
+        t_ms, geom::Pose{geom::Mat3::identity(), v * (t_ms * 1e-3)}));
+  }
+  const double last_ms = 12.5 * 19;
+  // Ask 100 ms ahead: must extrapolate only 10 ms.
+  const auto predicted = predictor.predict(util::us_from_ms(last_ms + 100.0));
+  ASSERT_TRUE(predicted.has_value());
+  const double expected_x = (last_ms + 10.0) * 1e-3;
+  EXPECT_NEAR(predicted->translation().x, expected_x, 2e-3);
+}
+
+TEST(PosePredictorTest, PredictionBeatsStaleReportOnMovingTarget) {
+  // The whole point: against a constant-velocity target, the predicted
+  // pose at apply time is closer to truth than the raw (last) report.
+  PosePredictor predictor;
+  const geom::Vec3 v{0.3, 0.0, 0.0};
+  double last_ms = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    last_ms = 12.5 * i;
+    predictor.update(report_at(
+        last_ms, geom::Pose{geom::Mat3::identity(), v * (last_ms * 1e-3)}));
+  }
+  const double apply_ms = last_ms + 14.0;
+  const geom::Vec3 truth = v * (apply_ms * 1e-3);
+  const geom::Vec3 stale = v * (last_ms * 1e-3);
+  const auto predicted = predictor.predict(util::us_from_ms(apply_ms));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_LT(geom::distance(predicted->translation(), truth),
+            geom::distance(stale, truth) * 0.3);
+}
+
+}  // namespace
+}  // namespace cyclops::tracking

@@ -1,0 +1,92 @@
+// Tests for the §5.1 tolerance-measurement API (core/tolerance.hpp) and
+// the TP controller's prediction path under motion.
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "core/tolerance.hpp"
+#include "link/fso_link.hpp"
+#include "motion/profile.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::core {
+namespace {
+
+TEST(ToleranceTest, DivergingDesignAnchors) {
+  // The Table 1 anchors as unit assertions on the library API.
+  sim::PrototypeConfig config = sim::prototype_10g_config();
+  config.design = optics::diverging_10g(20e-3, 1.5);
+  sim::Prototype proto = sim::make_prototype(42, config);
+
+  const double peak = aligned_peak_power_dbm(proto);
+  EXPECT_NEAR(peak, -10.0, 2.5);
+
+  const double tx = util::rad_to_mrad(tx_angular_tolerance(proto));
+  const double rx = util::rad_to_mrad(rx_angular_tolerance(proto));
+  EXPECT_NEAR(tx, 15.81, 4.0);
+  EXPECT_NEAR(rx, 5.77, 1.5);
+  EXPECT_GT(tx, rx);  // the diverging design's signature asymmetry
+}
+
+TEST(ToleranceTest, CollimatedDesignAnchors) {
+  sim::PrototypeConfig config = sim::prototype_10g_config();
+  config.design = optics::collimated_10g(20e-3);
+  sim::Prototype proto = sim::make_prototype(42, config);
+  EXPECT_NEAR(aligned_peak_power_dbm(proto), 15.0, 2.0);
+  EXPECT_NEAR(util::rad_to_mrad(tx_angular_tolerance(proto)), 2.0, 1.0);
+  EXPECT_NEAR(util::rad_to_mrad(rx_angular_tolerance(proto)), 2.28, 1.0);
+}
+
+TEST(ToleranceTest, LateralToleranceIsMillimetric) {
+  sim::Prototype proto = sim::make_prototype(42, sim::prototype_10g_config());
+  const double lateral = rx_lateral_tolerance(proto);
+  EXPECT_GT(lateral, 2e-3);
+  EXPECT_LT(lateral, 25e-3);
+}
+
+TEST(ToleranceTest, MeasurementRestoresScene) {
+  // The procedures perturb the scene; they must leave it where they found
+  // it (other experiments run on the same prototype afterwards).
+  sim::Prototype proto = sim::make_prototype(42, sim::prototype_10g_config());
+  const geom::Pose rig_before = proto.scene.rig_pose();
+  const geom::Pose tx_before = proto.scene.tx().mount();
+  tx_angular_tolerance(proto);
+  rx_angular_tolerance(proto);
+  rx_lateral_tolerance(proto);
+  EXPECT_NEAR(geom::translation_distance(proto.scene.rig_pose(), rig_before),
+              0.0, 1e-12);
+  EXPECT_NEAR(geom::rotation_distance(proto.scene.tx().mount(), tx_before),
+              0.0, 1e-12);
+}
+
+TEST(PredictionUnderMotion, PredictedControllerTracksBetter) {
+  // At a speed past the react-only envelope, the predicting controller
+  // keeps more windows aligned on a constant-velocity stroke.
+  sim::Prototype proto = sim::make_prototype(42, sim::prototype_10g_config());
+  util::Rng rng(7);
+  const CalibrationResult calib =
+      calibrate_prototype(proto, CalibrationConfig{}, rng);
+
+  const auto aligned_fraction = [&](bool predict) {
+    TpConfig tp;
+    tp.predict_pose = predict;
+    TpController controller(calib.make_pointing_solver(), tp);
+    const motion::LinearStrokeMotion profile(proto.nominal_rig_pose,
+                                             {1, 0, 0}, 0.15, {0.55});
+    const link::RunResult run =
+        link::run_link_simulation(proto, controller, profile);
+    int aligned = 0;
+    for (const auto& w : run.windows) {
+      if (w.power_ok_fraction >= 0.95) ++aligned;
+    }
+    return run.windows.empty()
+               ? 0.0
+               : static_cast<double>(aligned) / run.windows.size();
+  };
+
+  const double react = aligned_fraction(false);
+  const double predicted = aligned_fraction(true);
+  EXPECT_GT(predicted, react + 0.1);
+}
+
+}  // namespace
+}  // namespace cyclops::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tracking/vrh_tracker.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::tracking {
+namespace {
+
+VrhTracker make_tracker(TrackerConfig config = {},
+                        geom::Pose vr = geom::Pose::identity(),
+                        geom::Pose x = geom::Pose::identity(),
+                        std::uint64_t seed = 1) {
+  return VrhTracker(config, vr, x, util::Rng(seed));
+}
+
+TEST(TrackerScheduleTest, PeriodNear12To13Ms) {
+  VrhTracker tracker = make_tracker();
+  util::SimTimeUs now = 0;
+  util::RunningStats gaps;
+  int outliers = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const util::SimTimeUs next = tracker.next_capture_time(now);
+    const double gap_ms = util::us_to_ms(next - now);
+    gaps.add(gap_ms);
+    if (gap_ms > 13.5) ++outliers;
+    tracker.report(next, geom::Pose::identity());  // consume the slot
+    now = next;
+  }
+  // §5.2: every 12-13 ms except ~0.7 % at 14-15 ms.
+  EXPECT_GT(gaps.mean(), 12.0);
+  EXPECT_LT(gaps.mean(), 13.1);
+  const double outlier_fraction = static_cast<double>(outliers) / n;
+  EXPECT_GT(outlier_fraction, 0.002);
+  EXPECT_LT(outlier_fraction, 0.02);
+}
+
+TEST(TrackerScheduleTest, NextCaptureIsStableUntilConsumed) {
+  VrhTracker tracker = make_tracker();
+  const util::SimTimeUs a = tracker.next_capture_time(0);
+  const util::SimTimeUs b = tracker.next_capture_time(0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TrackerScheduleTest, DeliveryIncludesControlChannel) {
+  TrackerConfig config;
+  config.report_latency_ms = 0.5;
+  VrhTracker tracker = make_tracker(config);
+  const PoseReport report = tracker.report(10000, geom::Pose::identity());
+  EXPECT_EQ(report.delivery_time - report.capture_time, 500);
+}
+
+TEST(TrackerNoiseTest, StationarySpreadMatchesPaper) {
+  // §5.2: stationary VRH over 30 min wandered <= 1.79 mm and 0.41 mrad.
+  VrhTracker tracker = make_tracker();
+  const geom::Pose rig = geom::Pose::identity();
+  util::RunningStats x, y, z;
+  double max_angle = 0.0;
+  for (int i = 0; i < 144000; ++i) {  // 30 min at 12.5 ms
+    const PoseReport report = tracker.report(i, rig);
+    const geom::Vec3& t = report.pose.translation();
+    x.add(t.x);
+    y.add(t.y);
+    z.add(t.z);
+    max_angle =
+        std::max(max_angle, geom::rotation_distance(rig, report.pose));
+  }
+  const double spread =
+      std::max({x.max() - x.min(), y.max() - y.min(), z.max() - z.min()});
+  EXPECT_GT(spread, 0.5e-3);
+  EXPECT_LT(spread, 2.5e-3);
+  EXPECT_GT(max_angle, 0.05e-3);
+  EXPECT_LT(max_angle, 0.6e-3);
+}
+
+TEST(TrackerFrameTest, IdealReportComposesFrames) {
+  const geom::Pose vr{geom::Mat3::rotation({0, 0, 1}, 0.3), {1, 2, 3}};
+  const geom::Pose x{geom::Mat3::rotation({1, 0, 0}, -0.2), {0.1, 0.05, 0.0}};
+  VrhTracker tracker = make_tracker({}, vr, x);
+  const geom::Pose rig{geom::Mat3::rotation({0, 1, 0}, 0.7), {-0.5, 0.8, 1.2}};
+  const geom::Pose ideal = tracker.ideal_report(rig);
+  const geom::Pose expected = vr * rig * x;
+  EXPECT_NEAR(geom::translation_distance(ideal, expected), 0.0, 1e-12);
+  EXPECT_NEAR(geom::rotation_distance(ideal, expected), 0.0, 1e-12);
+}
+
+TEST(TrackerFrameTest, ReportedPoseIsNotWorldPose) {
+  // The whole Stage-2 problem: the report differs from the rig's world
+  // pose by the two hidden frames.
+  const geom::Pose vr{geom::Mat3::rotation({0, 1, 0}, 1.0), {2, 0, 0}};
+  const geom::Pose x{geom::Mat3::identity(), {0, 0.12, 0.08}};
+  VrhTracker tracker = make_tracker({}, vr, x);
+  const geom::Pose rig = geom::Pose::identity();
+  const geom::Pose ideal = tracker.ideal_report(rig);
+  EXPECT_GT(geom::translation_distance(ideal, rig), 0.1);
+}
+
+TEST(TrackerNoiseTest, NoiseIsCenteredOnIdeal) {
+  VrhTracker tracker = make_tracker();
+  const geom::Pose rig{geom::Mat3::rotation({0, 0, 1}, 0.4), {0.3, 0.9, 1.1}};
+  geom::Vec3 sum{};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const PoseReport report = tracker.report(i, rig);
+    sum += report.pose.translation() - tracker.ideal_report(rig).translation();
+  }
+  EXPECT_LT((sum / n).norm(), 0.05e-3);
+}
+
+TEST(TrackerNoiseTest, DistinctSeedsGiveDistinctNoise) {
+  VrhTracker a = make_tracker({}, geom::Pose::identity(),
+                              geom::Pose::identity(), 1);
+  VrhTracker b = make_tracker({}, geom::Pose::identity(),
+                              geom::Pose::identity(), 2);
+  const geom::Pose rig = geom::Pose::identity();
+  const auto ra = a.report(0, rig);
+  const auto rb = b.report(0, rig);
+  EXPECT_GT(geom::translation_distance(ra.pose, rb.pose), 0.0);
+}
+
+}  // namespace
+}  // namespace cyclops::tracking
