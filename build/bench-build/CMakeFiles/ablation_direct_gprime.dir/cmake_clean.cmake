@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_direct_gprime"
+  "../bench/ablation_direct_gprime.pdb"
+  "CMakeFiles/ablation_direct_gprime.dir/ablation_direct_gprime.cpp.o"
+  "CMakeFiles/ablation_direct_gprime.dir/ablation_direct_gprime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct_gprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

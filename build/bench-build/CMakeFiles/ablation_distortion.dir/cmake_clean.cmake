@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_distortion"
+  "../bench/ablation_distortion.pdb"
+  "CMakeFiles/ablation_distortion.dir/ablation_distortion.cpp.o"
+  "CMakeFiles/ablation_distortion.dir/ablation_distortion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tracking_rate"
+  "../bench/ablation_tracking_rate.pdb"
+  "CMakeFiles/ablation_tracking_rate.dir/ablation_tracking_rate.cpp.o"
+  "CMakeFiles/ablation_tracking_rate.dir/ablation_tracking_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracking_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

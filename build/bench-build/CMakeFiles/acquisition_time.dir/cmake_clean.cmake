@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/acquisition_time"
+  "../bench/acquisition_time.pdb"
+  "CMakeFiles/acquisition_time.dir/acquisition_time.cpp.o"
+  "CMakeFiles/acquisition_time.dir/acquisition_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acquisition_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_mmwave"
+  "../bench/baseline_mmwave.pdb"
+  "CMakeFiles/baseline_mmwave.dir/baseline_mmwave.cpp.o"
+  "CMakeFiles/baseline_mmwave.dir/baseline_mmwave.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_mmwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

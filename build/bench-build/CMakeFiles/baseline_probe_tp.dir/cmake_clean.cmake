@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_probe_tp"
+  "../bench/baseline_probe_tp.pdb"
+  "CMakeFiles/baseline_probe_tp.dir/baseline_probe_tp.cpp.o"
+  "CMakeFiles/baseline_probe_tp.dir/baseline_probe_tp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_probe_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for baseline_probe_tp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/conv_pointing"
+  "../bench/conv_pointing.pdb"
+  "CMakeFiles/conv_pointing.dir/conv_pointing.cpp.o"
+  "CMakeFiles/conv_pointing.dir/conv_pointing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_pointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

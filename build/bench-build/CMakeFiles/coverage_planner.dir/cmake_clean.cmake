@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coverage_planner"
+  "../bench/coverage_planner.pdb"
+  "CMakeFiles/coverage_planner.dir/coverage_planner.cpp.o"
+  "CMakeFiles/coverage_planner.dir/coverage_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_speed_cdfs"
+  "../bench/fig03_speed_cdfs.pdb"
+  "CMakeFiles/fig03_speed_cdfs.dir/fig03_speed_cdfs.cpp.o"
+  "CMakeFiles/fig03_speed_cdfs.dir/fig03_speed_cdfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_speed_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

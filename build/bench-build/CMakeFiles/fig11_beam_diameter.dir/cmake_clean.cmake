@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_beam_diameter"
+  "../bench/fig11_beam_diameter.pdb"
+  "CMakeFiles/fig11_beam_diameter.dir/fig11_beam_diameter.cpp.o"
+  "CMakeFiles/fig11_beam_diameter.dir/fig11_beam_diameter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_beam_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_10g_pure"
+  "../bench/fig13_10g_pure.pdb"
+  "CMakeFiles/fig13_10g_pure.dir/fig13_10g_pure.cpp.o"
+  "CMakeFiles/fig13_10g_pure.dir/fig13_10g_pure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_10g_pure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_10g_pure.
+# This may be replaced when dependencies are built.

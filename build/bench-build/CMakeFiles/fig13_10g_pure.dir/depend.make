@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_10g_pure.
+# This may be replaced when dependencies are built.

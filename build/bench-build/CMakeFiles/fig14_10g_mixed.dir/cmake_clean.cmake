@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_10g_mixed"
+  "../bench/fig14_10g_mixed.pdb"
+  "CMakeFiles/fig14_10g_mixed.dir/fig14_10g_mixed.cpp.o"
+  "CMakeFiles/fig14_10g_mixed.dir/fig14_10g_mixed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_10g_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_25g"
+  "../bench/fig15_25g.pdb"
+  "CMakeFiles/fig15_25g.dir/fig15_25g.cpp.o"
+  "CMakeFiles/fig15_25g.dir/fig15_25g.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_25g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

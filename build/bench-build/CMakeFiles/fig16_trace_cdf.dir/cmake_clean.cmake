@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_trace_cdf"
+  "../bench/fig16_trace_cdf.pdb"
+  "CMakeFiles/fig16_trace_cdf.dir/fig16_trace_cdf.cpp.o"
+  "CMakeFiles/fig16_trace_cdf.dir/fig16_trace_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_trace_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/future_wdm"
+  "../bench/future_wdm.pdb"
+  "CMakeFiles/future_wdm.dir/future_wdm.cpp.o"
+  "CMakeFiles/future_wdm.dir/future_wdm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_wdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

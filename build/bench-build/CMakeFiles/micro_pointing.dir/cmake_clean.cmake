@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_pointing"
+  "../bench/micro_pointing.pdb"
+  "CMakeFiles/micro_pointing.dir/micro_pointing.cpp.o"
+  "CMakeFiles/micro_pointing.dir/micro_pointing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/roomscale_study"
+  "../bench/roomscale_study.pdb"
+  "CMakeFiles/roomscale_study.dir/roomscale_study.cpp.o"
+  "CMakeFiles/roomscale_study.dir/roomscale_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomscale_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_link_tolerance"
+  "../bench/table1_link_tolerance.pdb"
+  "CMakeFiles/table1_link_tolerance.dir/table1_link_tolerance.cpp.o"
+  "CMakeFiles/table1_link_tolerance.dir/table1_link_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_link_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

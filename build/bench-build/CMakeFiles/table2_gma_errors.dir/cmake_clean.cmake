@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_gma_errors"
+  "../bench/table2_gma_errors.pdb"
+  "CMakeFiles/table2_gma_errors.dir/table2_gma_errors.cpp.o"
+  "CMakeFiles/table2_gma_errors.dir/table2_gma_errors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gma_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

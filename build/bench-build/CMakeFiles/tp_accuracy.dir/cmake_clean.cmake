@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tp_accuracy"
+  "../bench/tp_accuracy.pdb"
+  "CMakeFiles/tp_accuracy.dir/tp_accuracy.cpp.o"
+  "CMakeFiles/tp_accuracy.dir/tp_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

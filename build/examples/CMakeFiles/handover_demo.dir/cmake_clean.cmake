@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handover_demo.dir/handover_demo.cpp.o"
+  "CMakeFiles/handover_demo.dir/handover_demo.cpp.o.d"
+  "handover_demo"
+  "handover_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handover_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfcal_demo.dir/selfcal_demo.cpp.o"
+  "CMakeFiles/selfcal_demo.dir/selfcal_demo.cpp.o.d"
+  "selfcal_demo"
+  "selfcal_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfcal_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_session.dir/vr_session.cpp.o"
+  "CMakeFiles/vr_session.dir/vr_session.cpp.o.d"
+  "vr_session"
+  "vr_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

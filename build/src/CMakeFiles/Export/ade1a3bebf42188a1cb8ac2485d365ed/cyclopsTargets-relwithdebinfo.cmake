@@ -1,0 +1,129 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "cyclops::cyclops_util" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_util )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_util "${_IMPORT_PREFIX}/lib/libcyclops_util.a" )
+
+# Import target "cyclops::cyclops_geom" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_geom APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_geom PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_geom.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_geom )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_geom "${_IMPORT_PREFIX}/lib/libcyclops_geom.a" )
+
+# Import target "cyclops::cyclops_opt" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_opt APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_opt PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_opt.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_opt )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_opt "${_IMPORT_PREFIX}/lib/libcyclops_opt.a" )
+
+# Import target "cyclops::cyclops_optics" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_optics APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_optics PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_optics.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_optics )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_optics "${_IMPORT_PREFIX}/lib/libcyclops_optics.a" )
+
+# Import target "cyclops::cyclops_galvo" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_galvo APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_galvo PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_galvo.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_galvo )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_galvo "${_IMPORT_PREFIX}/lib/libcyclops_galvo.a" )
+
+# Import target "cyclops::cyclops_tracking" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_tracking APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_tracking PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_tracking.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_tracking )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_tracking "${_IMPORT_PREFIX}/lib/libcyclops_tracking.a" )
+
+# Import target "cyclops::cyclops_sim" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_sim )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_sim "${_IMPORT_PREFIX}/lib/libcyclops_sim.a" )
+
+# Import target "cyclops::cyclops_core" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_core )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_core "${_IMPORT_PREFIX}/lib/libcyclops_core.a" )
+
+# Import target "cyclops::cyclops_motion" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_motion APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_motion PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_motion.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_motion )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_motion "${_IMPORT_PREFIX}/lib/libcyclops_motion.a" )
+
+# Import target "cyclops::cyclops_net" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_net )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_net "${_IMPORT_PREFIX}/lib/libcyclops_net.a" )
+
+# Import target "cyclops::cyclops_baseline" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_baseline APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_baseline PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_baseline.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_baseline )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_baseline "${_IMPORT_PREFIX}/lib/libcyclops_baseline.a" )
+
+# Import target "cyclops::cyclops_link" for configuration "RelWithDebInfo"
+set_property(TARGET cyclops::cyclops_link APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(cyclops::cyclops_link PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libcyclops_link.a"
+  )
+
+list(APPEND _cmake_import_check_targets cyclops::cyclops_link )
+list(APPEND _cmake_import_check_files_for_cyclops::cyclops_link "${_IMPORT_PREFIX}/lib/libcyclops_link.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("opt")
+subdirs("optics")
+subdirs("galvo")
+subdirs("tracking")
+subdirs("sim")
+subdirs("core")
+subdirs("motion")
+subdirs("net")
+subdirs("baseline")
+subdirs("link")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_baseline.dir/mmwave.cpp.o"
+  "CMakeFiles/cyclops_baseline.dir/mmwave.cpp.o.d"
+  "libcyclops_baseline.a"
+  "libcyclops_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

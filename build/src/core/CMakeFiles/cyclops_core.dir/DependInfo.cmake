@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/cyclops_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/drift_monitor.cpp" "src/core/CMakeFiles/cyclops_core.dir/drift_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/drift_monitor.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/cyclops_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/exhaustive_aligner.cpp" "src/core/CMakeFiles/cyclops_core.dir/exhaustive_aligner.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/exhaustive_aligner.cpp.o.d"
+  "/root/repo/src/core/gma_model.cpp" "src/core/CMakeFiles/cyclops_core.dir/gma_model.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/gma_model.cpp.o.d"
+  "/root/repo/src/core/gprime.cpp" "src/core/CMakeFiles/cyclops_core.dir/gprime.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/gprime.cpp.o.d"
+  "/root/repo/src/core/kspace_calibration.cpp" "src/core/CMakeFiles/cyclops_core.dir/kspace_calibration.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/kspace_calibration.cpp.o.d"
+  "/root/repo/src/core/mapping_calibration.cpp" "src/core/CMakeFiles/cyclops_core.dir/mapping_calibration.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/mapping_calibration.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/cyclops_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/core/pointing.cpp" "src/core/CMakeFiles/cyclops_core.dir/pointing.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/pointing.cpp.o.d"
+  "/root/repo/src/core/tolerance.cpp" "src/core/CMakeFiles/cyclops_core.dir/tolerance.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/tolerance.cpp.o.d"
+  "/root/repo/src/core/tp_controller.cpp" "src/core/CMakeFiles/cyclops_core.dir/tp_controller.cpp.o" "gcc" "src/core/CMakeFiles/cyclops_core.dir/tp_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cyclops_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/galvo/CMakeFiles/cyclops_galvo.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/cyclops_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/cyclops_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cyclops_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cyclops_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

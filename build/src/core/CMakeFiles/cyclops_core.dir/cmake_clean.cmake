@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_core.dir/calibration.cpp.o"
+  "CMakeFiles/cyclops_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/drift_monitor.cpp.o"
+  "CMakeFiles/cyclops_core.dir/drift_monitor.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/evaluation.cpp.o"
+  "CMakeFiles/cyclops_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/exhaustive_aligner.cpp.o"
+  "CMakeFiles/cyclops_core.dir/exhaustive_aligner.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/gma_model.cpp.o"
+  "CMakeFiles/cyclops_core.dir/gma_model.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/gprime.cpp.o"
+  "CMakeFiles/cyclops_core.dir/gprime.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/kspace_calibration.cpp.o"
+  "CMakeFiles/cyclops_core.dir/kspace_calibration.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/mapping_calibration.cpp.o"
+  "CMakeFiles/cyclops_core.dir/mapping_calibration.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/persistence.cpp.o"
+  "CMakeFiles/cyclops_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/pointing.cpp.o"
+  "CMakeFiles/cyclops_core.dir/pointing.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/tolerance.cpp.o"
+  "CMakeFiles/cyclops_core.dir/tolerance.cpp.o.d"
+  "CMakeFiles/cyclops_core.dir/tp_controller.cpp.o"
+  "CMakeFiles/cyclops_core.dir/tp_controller.cpp.o.d"
+  "libcyclops_core.a"
+  "libcyclops_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

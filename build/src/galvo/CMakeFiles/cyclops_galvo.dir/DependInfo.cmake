@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/galvo/factory.cpp" "src/galvo/CMakeFiles/cyclops_galvo.dir/factory.cpp.o" "gcc" "src/galvo/CMakeFiles/cyclops_galvo.dir/factory.cpp.o.d"
+  "/root/repo/src/galvo/galvo_mirror.cpp" "src/galvo/CMakeFiles/cyclops_galvo.dir/galvo_mirror.cpp.o" "gcc" "src/galvo/CMakeFiles/cyclops_galvo.dir/galvo_mirror.cpp.o.d"
+  "/root/repo/src/galvo/gma.cpp" "src/galvo/CMakeFiles/cyclops_galvo.dir/gma.cpp.o" "gcc" "src/galvo/CMakeFiles/cyclops_galvo.dir/gma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cyclops_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/cyclops_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

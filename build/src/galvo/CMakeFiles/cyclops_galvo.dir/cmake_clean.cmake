@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_galvo.dir/factory.cpp.o"
+  "CMakeFiles/cyclops_galvo.dir/factory.cpp.o.d"
+  "CMakeFiles/cyclops_galvo.dir/galvo_mirror.cpp.o"
+  "CMakeFiles/cyclops_galvo.dir/galvo_mirror.cpp.o.d"
+  "CMakeFiles/cyclops_galvo.dir/gma.cpp.o"
+  "CMakeFiles/cyclops_galvo.dir/gma.cpp.o.d"
+  "libcyclops_galvo.a"
+  "libcyclops_galvo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_galvo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/mat3.cpp" "src/geom/CMakeFiles/cyclops_geom.dir/mat3.cpp.o" "gcc" "src/geom/CMakeFiles/cyclops_geom.dir/mat3.cpp.o.d"
+  "/root/repo/src/geom/pose.cpp" "src/geom/CMakeFiles/cyclops_geom.dir/pose.cpp.o" "gcc" "src/geom/CMakeFiles/cyclops_geom.dir/pose.cpp.o.d"
+  "/root/repo/src/geom/quat.cpp" "src/geom/CMakeFiles/cyclops_geom.dir/quat.cpp.o" "gcc" "src/geom/CMakeFiles/cyclops_geom.dir/quat.cpp.o.d"
+  "/root/repo/src/geom/reflect.cpp" "src/geom/CMakeFiles/cyclops_geom.dir/reflect.cpp.o" "gcc" "src/geom/CMakeFiles/cyclops_geom.dir/reflect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

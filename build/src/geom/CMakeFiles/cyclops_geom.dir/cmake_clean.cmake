@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_geom.dir/mat3.cpp.o"
+  "CMakeFiles/cyclops_geom.dir/mat3.cpp.o.d"
+  "CMakeFiles/cyclops_geom.dir/pose.cpp.o"
+  "CMakeFiles/cyclops_geom.dir/pose.cpp.o.d"
+  "CMakeFiles/cyclops_geom.dir/quat.cpp.o"
+  "CMakeFiles/cyclops_geom.dir/quat.cpp.o.d"
+  "CMakeFiles/cyclops_geom.dir/reflect.cpp.o"
+  "CMakeFiles/cyclops_geom.dir/reflect.cpp.o.d"
+  "libcyclops_geom.a"
+  "libcyclops_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

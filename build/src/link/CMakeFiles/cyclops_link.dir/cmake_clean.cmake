@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_link.dir/coverage.cpp.o"
+  "CMakeFiles/cyclops_link.dir/coverage.cpp.o.d"
+  "CMakeFiles/cyclops_link.dir/fso_link.cpp.o"
+  "CMakeFiles/cyclops_link.dir/fso_link.cpp.o.d"
+  "CMakeFiles/cyclops_link.dir/handover.cpp.o"
+  "CMakeFiles/cyclops_link.dir/handover.cpp.o.d"
+  "CMakeFiles/cyclops_link.dir/multi_tx.cpp.o"
+  "CMakeFiles/cyclops_link.dir/multi_tx.cpp.o.d"
+  "CMakeFiles/cyclops_link.dir/session_log.cpp.o"
+  "CMakeFiles/cyclops_link.dir/session_log.cpp.o.d"
+  "CMakeFiles/cyclops_link.dir/slot_eval.cpp.o"
+  "CMakeFiles/cyclops_link.dir/slot_eval.cpp.o.d"
+  "libcyclops_link.a"
+  "libcyclops_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

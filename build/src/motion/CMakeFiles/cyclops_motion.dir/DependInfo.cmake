@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motion/profile.cpp" "src/motion/CMakeFiles/cyclops_motion.dir/profile.cpp.o" "gcc" "src/motion/CMakeFiles/cyclops_motion.dir/profile.cpp.o.d"
+  "/root/repo/src/motion/trace.cpp" "src/motion/CMakeFiles/cyclops_motion.dir/trace.cpp.o" "gcc" "src/motion/CMakeFiles/cyclops_motion.dir/trace.cpp.o.d"
+  "/root/repo/src/motion/trace_generator.cpp" "src/motion/CMakeFiles/cyclops_motion.dir/trace_generator.cpp.o" "gcc" "src/motion/CMakeFiles/cyclops_motion.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cyclops_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_motion.dir/profile.cpp.o"
+  "CMakeFiles/cyclops_motion.dir/profile.cpp.o.d"
+  "CMakeFiles/cyclops_motion.dir/trace.cpp.o"
+  "CMakeFiles/cyclops_motion.dir/trace.cpp.o.d"
+  "CMakeFiles/cyclops_motion.dir/trace_generator.cpp.o"
+  "CMakeFiles/cyclops_motion.dir/trace_generator.cpp.o.d"
+  "libcyclops_motion.a"
+  "libcyclops_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/adaptive_stream.cpp" "src/net/CMakeFiles/cyclops_net.dir/adaptive_stream.cpp.o" "gcc" "src/net/CMakeFiles/cyclops_net.dir/adaptive_stream.cpp.o.d"
+  "/root/repo/src/net/frame_source.cpp" "src/net/CMakeFiles/cyclops_net.dir/frame_source.cpp.o" "gcc" "src/net/CMakeFiles/cyclops_net.dir/frame_source.cpp.o.d"
+  "/root/repo/src/net/streamer.cpp" "src/net/CMakeFiles/cyclops_net.dir/streamer.cpp.o" "gcc" "src/net/CMakeFiles/cyclops_net.dir/streamer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

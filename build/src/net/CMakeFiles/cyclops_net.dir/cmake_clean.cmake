@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_net.dir/adaptive_stream.cpp.o"
+  "CMakeFiles/cyclops_net.dir/adaptive_stream.cpp.o.d"
+  "CMakeFiles/cyclops_net.dir/frame_source.cpp.o"
+  "CMakeFiles/cyclops_net.dir/frame_source.cpp.o.d"
+  "CMakeFiles/cyclops_net.dir/streamer.cpp.o"
+  "CMakeFiles/cyclops_net.dir/streamer.cpp.o.d"
+  "libcyclops_net.a"
+  "libcyclops_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_opt.dir/annealing.cpp.o"
+  "CMakeFiles/cyclops_opt.dir/annealing.cpp.o.d"
+  "CMakeFiles/cyclops_opt.dir/levmar.cpp.o"
+  "CMakeFiles/cyclops_opt.dir/levmar.cpp.o.d"
+  "CMakeFiles/cyclops_opt.dir/linalg.cpp.o"
+  "CMakeFiles/cyclops_opt.dir/linalg.cpp.o.d"
+  "CMakeFiles/cyclops_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/cyclops_opt.dir/nelder_mead.cpp.o.d"
+  "libcyclops_opt.a"
+  "libcyclops_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

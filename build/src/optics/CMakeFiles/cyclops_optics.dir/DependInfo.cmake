@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/beam.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/beam.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/beam.cpp.o.d"
+  "/root/repo/src/optics/coupling.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/coupling.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/coupling.cpp.o.d"
+  "/root/repo/src/optics/eye_safety.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/eye_safety.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/eye_safety.cpp.o.d"
+  "/root/repo/src/optics/field.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/field.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/field.cpp.o.d"
+  "/root/repo/src/optics/gaussian_beam.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/gaussian_beam.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/gaussian_beam.cpp.o.d"
+  "/root/repo/src/optics/link_budget.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/link_budget.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/link_budget.cpp.o.d"
+  "/root/repo/src/optics/photodiode.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/photodiode.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/photodiode.cpp.o.d"
+  "/root/repo/src/optics/wdm.cpp" "src/optics/CMakeFiles/cyclops_optics.dir/wdm.cpp.o" "gcc" "src/optics/CMakeFiles/cyclops_optics.dir/wdm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cyclops_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

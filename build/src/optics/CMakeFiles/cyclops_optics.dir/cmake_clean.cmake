@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_optics.dir/beam.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/beam.cpp.o.d"
+  "CMakeFiles/cyclops_optics.dir/coupling.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/coupling.cpp.o.d"
+  "CMakeFiles/cyclops_optics.dir/eye_safety.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/eye_safety.cpp.o.d"
+  "CMakeFiles/cyclops_optics.dir/field.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/field.cpp.o.d"
+  "CMakeFiles/cyclops_optics.dir/gaussian_beam.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/gaussian_beam.cpp.o.d"
+  "CMakeFiles/cyclops_optics.dir/link_budget.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/link_budget.cpp.o.d"
+  "CMakeFiles/cyclops_optics.dir/photodiode.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/photodiode.cpp.o.d"
+  "CMakeFiles/cyclops_optics.dir/wdm.cpp.o"
+  "CMakeFiles/cyclops_optics.dir/wdm.cpp.o.d"
+  "libcyclops_optics.a"
+  "libcyclops_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

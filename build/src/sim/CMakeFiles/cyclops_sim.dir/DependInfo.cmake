@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/prototype.cpp" "src/sim/CMakeFiles/cyclops_sim.dir/prototype.cpp.o" "gcc" "src/sim/CMakeFiles/cyclops_sim.dir/prototype.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/sim/CMakeFiles/cyclops_sim.dir/scene.cpp.o" "gcc" "src/sim/CMakeFiles/cyclops_sim.dir/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/galvo/CMakeFiles/cyclops_galvo.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/cyclops_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/cyclops_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cyclops_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_sim.dir/prototype.cpp.o"
+  "CMakeFiles/cyclops_sim.dir/prototype.cpp.o.d"
+  "CMakeFiles/cyclops_sim.dir/scene.cpp.o"
+  "CMakeFiles/cyclops_sim.dir/scene.cpp.o.d"
+  "libcyclops_sim.a"
+  "libcyclops_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracking/predictor.cpp" "src/tracking/CMakeFiles/cyclops_tracking.dir/predictor.cpp.o" "gcc" "src/tracking/CMakeFiles/cyclops_tracking.dir/predictor.cpp.o.d"
+  "/root/repo/src/tracking/vrh_tracker.cpp" "src/tracking/CMakeFiles/cyclops_tracking.dir/vrh_tracker.cpp.o" "gcc" "src/tracking/CMakeFiles/cyclops_tracking.dir/vrh_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cyclops_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

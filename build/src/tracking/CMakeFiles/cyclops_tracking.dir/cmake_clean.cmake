@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_tracking.dir/predictor.cpp.o"
+  "CMakeFiles/cyclops_tracking.dir/predictor.cpp.o.d"
+  "CMakeFiles/cyclops_tracking.dir/vrh_tracker.cpp.o"
+  "CMakeFiles/cyclops_tracking.dir/vrh_tracker.cpp.o.d"
+  "libcyclops_tracking.a"
+  "libcyclops_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclops_util.dir/csv.cpp.o"
+  "CMakeFiles/cyclops_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cyclops_util.dir/fft.cpp.o"
+  "CMakeFiles/cyclops_util.dir/fft.cpp.o.d"
+  "CMakeFiles/cyclops_util.dir/rng.cpp.o"
+  "CMakeFiles/cyclops_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cyclops_util.dir/stats.cpp.o"
+  "CMakeFiles/cyclops_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cyclops_util.dir/table.cpp.o"
+  "CMakeFiles/cyclops_util.dir/table.cpp.o.d"
+  "libcyclops_util.a"
+  "libcyclops_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclops_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_stream_test.dir/adaptive_stream_test.cpp.o"
+  "CMakeFiles/adaptive_stream_test.dir/adaptive_stream_test.cpp.o.d"
+  "adaptive_stream_test"
+  "adaptive_stream_test.pdb"
+  "adaptive_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

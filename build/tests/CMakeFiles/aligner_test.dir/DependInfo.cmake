@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aligner_test.cpp" "tests/CMakeFiles/aligner_test.dir/aligner_test.cpp.o" "gcc" "tests/CMakeFiles/aligner_test.dir/aligner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/cyclops_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cyclops_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cyclops_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/cyclops_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cyclops_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cyclops_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/cyclops_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/galvo/CMakeFiles/cyclops_galvo.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/cyclops_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cyclops_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cyclops_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aligner_test.dir/aligner_test.cpp.o"
+  "CMakeFiles/aligner_test.dir/aligner_test.cpp.o.d"
+  "aligner_test"
+  "aligner_test.pdb"
+  "aligner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aligner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blind_mapping_test.dir/blind_mapping_test.cpp.o"
+  "CMakeFiles/blind_mapping_test.dir/blind_mapping_test.cpp.o.d"
+  "blind_mapping_test"
+  "blind_mapping_test.pdb"
+  "blind_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blind_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

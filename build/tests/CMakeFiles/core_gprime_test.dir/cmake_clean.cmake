@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gprime_test.dir/core_gprime_test.cpp.o"
+  "CMakeFiles/core_gprime_test.dir/core_gprime_test.cpp.o.d"
+  "core_gprime_test"
+  "core_gprime_test.pdb"
+  "core_gprime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gprime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pointing_test.dir/core_pointing_test.cpp.o"
+  "CMakeFiles/core_pointing_test.dir/core_pointing_test.cpp.o.d"
+  "core_pointing_test"
+  "core_pointing_test.pdb"
+  "core_pointing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pointing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

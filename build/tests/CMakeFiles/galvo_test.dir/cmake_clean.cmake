@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvo_test.dir/galvo_test.cpp.o"
+  "CMakeFiles/galvo_test.dir/galvo_test.cpp.o.d"
+  "galvo_test"
+  "galvo_test.pdb"
+  "galvo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

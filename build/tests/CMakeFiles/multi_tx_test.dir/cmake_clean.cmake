@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tx_test.dir/multi_tx_test.cpp.o"
+  "CMakeFiles/multi_tx_test.dir/multi_tx_test.cpp.o.d"
+  "multi_tx_test"
+  "multi_tx_test.pdb"
+  "multi_tx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

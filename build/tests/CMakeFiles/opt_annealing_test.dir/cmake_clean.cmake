@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_annealing_test.dir/opt_annealing_test.cpp.o"
+  "CMakeFiles/opt_annealing_test.dir/opt_annealing_test.cpp.o.d"
+  "opt_annealing_test"
+  "opt_annealing_test.pdb"
+  "opt_annealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_annealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tolerance_test.dir/tolerance_test.cpp.o"
+  "CMakeFiles/tolerance_test.dir/tolerance_test.cpp.o.d"
+  "tolerance_test"
+  "tolerance_test.pdb"
+  "tolerance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tolerance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_optics_test.dir/wave_optics_test.cpp.o"
+  "CMakeFiles/wave_optics_test.dir/wave_optics_test.cpp.o.d"
+  "wave_optics_test"
+  "wave_optics_test.pdb"
+  "wave_optics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_optics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/optics_test[1]_include.cmake")
+include("/root/repo/build/tests/galvo_test[1]_include.cmake")
+include("/root/repo/build/tests/tracking_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_gprime_test[1]_include.cmake")
+include("/root/repo/build/tests/core_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pointing_test[1]_include.cmake")
+include("/root/repo/build/tests/motion_test[1]_include.cmake")
+include("/root/repo/build/tests/link_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/wave_optics_test[1]_include.cmake")
+include("/root/repo/build/tests/predictor_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_annealing_test[1]_include.cmake")
+include("/root/repo/build/tests/blind_mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_stream_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_tx_test[1]_include.cmake")
+include("/root/repo/build/tests/aligner_test[1]_include.cmake")
+include("/root/repo/build/tests/tolerance_test[1]_include.cmake")
+include("/root/repo/build/tests/drift_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[BlindMappingTest.SelfCalibratesWithoutManualMeasurement]=]  /root/repo/build/tests/blind_mapping_test [==[--gtest_filter=BlindMappingTest.SelfCalibratesWithoutManualMeasurement]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[BlindMappingTest.SelfCalibratesWithoutManualMeasurement]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  blind_mapping_test_TESTS BlindMappingTest.SelfCalibratesWithoutManualMeasurement)
