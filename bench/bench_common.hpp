@@ -8,7 +8,9 @@
 // TP loop closed.
 #pragma once
 
+#include <chrono>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/calibration.hpp"
@@ -17,6 +19,30 @@
 #include "sim/prototype.hpp"
 
 namespace cyclops::bench {
+
+/// Wall-clock stopwatch for the serial-vs-parallel comparisons the
+/// harness binaries report.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes `BENCH_<name>.json` in the working directory with the given
+/// numeric fields (flat object; values printed with enough precision to
+/// round-trip).  Establishes the perf trajectory across PRs — run the
+/// bench, diff the JSON.
+void write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& fields);
 
 /// A prototype with its calibration — the starting point of every
 /// experiment.

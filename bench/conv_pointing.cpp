@@ -8,14 +8,36 @@
 #include "core/gprime.hpp"
 #include "core/pointing.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cyclops;
 
 int main() {
   std::printf("== §4.3 convergence: G' and P iteration counts ==\n\n");
 
+  // The calibration behind the solver is the hot path here (LM Jacobians +
+  // exhaustive-aligner sweeps); time it serial vs pooled.
+  bench::Timer timer;
+  double serial_ms = 0.0;
+  {
+    util::ThreadPool::SerialScope force_serial;
+    const bench::CalibratedRig serial_rig =
+        bench::make_calibrated_rig(42, sim::prototype_10g_config());
+    serial_ms = timer.elapsed_ms();
+    (void)serial_rig;
+  }
+  timer.reset();
   bench::CalibratedRig rig =
       bench::make_calibrated_rig(42, sim::prototype_10g_config());
+  const double parallel_ms = timer.elapsed_ms();
+  bench::write_bench_json(
+      "conv_pointing",
+      {{"serial_ms", serial_ms},
+       {"parallel_ms", parallel_ms},
+       {"speedup", serial_ms / parallel_ms},
+       {"threads", static_cast<double>(
+                       util::ThreadPool::global().thread_count())}});
+
   const core::PointingSolver solver = rig.calib.make_pointing_solver();
 
   // --- G' over random targets in the coverage cone. ---

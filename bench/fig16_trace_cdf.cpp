@@ -6,17 +6,23 @@
 // off-slots falling in 30-slot frames with fewer than 10 off-slots.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "link/slot_eval.hpp"
 #include "motion/trace_generator.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 using namespace cyclops;
 
-int main() {
-  std::printf("== Fig 16: CDF of per-trace disconnected-slot fraction "
-              "(25G, 500 traces, 1 ms slots) ==\n\n");
+namespace {
 
+struct Fig16Run {
+  std::vector<motion::Trace> traces;
+  link::DatasetEvalResult result;
+};
+
+Fig16Run run_fig16(util::ThreadPool& pool) {
   util::Rng rng(2022);
   const geom::Pose base{geom::Mat3::identity(), {0.0, 0.8, 1.2}};
   // The §5.4 dataset (Lo et al. 360° viewers) is a different population
@@ -26,11 +32,52 @@ int main() {
   gen_config.max_linear_mps = 0.19;
   gen_config.shift_peak_mps = 0.17;
   gen_config.shift_rate_hz = 0.22;
-  const auto traces = motion::generate_dataset(base, 500, gen_config, rng);
+  Fig16Run run;
+  run.traces = motion::generate_dataset(base, 500, gen_config, rng, pool);
 
   const link::SlotEvalConfig config;  // §5.4 constants (25G tolerances)
-  const link::DatasetEvalResult result =
-      link::evaluate_dataset(traces, config);
+  run.result = link::evaluate_dataset(run.traces, config, pool);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig 16: CDF of per-trace disconnected-slot fraction "
+              "(25G, 500 traces, 1 ms slots) ==\n\n");
+
+  // Serial baseline, then the pool — same seeds, must agree bit-for-bit.
+  bench::Timer timer;
+  const Fig16Run serial_run = run_fig16(util::ThreadPool::serial());
+  const double serial_ms = timer.elapsed_ms();
+
+  timer.reset();
+  const Fig16Run parallel_run = run_fig16(util::ThreadPool::global());
+  const double parallel_ms = timer.elapsed_ms();
+
+  if (serial_run.result.per_trace_off_fraction !=
+          parallel_run.result.per_trace_off_fraction ||
+      serial_run.result.pooled.off_per_dirty_frame !=
+          parallel_run.result.pooled.off_per_dirty_frame ||
+      serial_run.result.pooled.total_slots !=
+          parallel_run.result.pooled.total_slots) {
+    std::fprintf(stderr, "FATAL: parallel result differs from serial\n");
+    return 1;
+  }
+  const link::DatasetEvalResult& result = parallel_run.result;
+
+  const double threads =
+      static_cast<double>(util::ThreadPool::global().thread_count());
+  bench::write_bench_json(
+      "fig16", {{"serial_ms", serial_ms},
+                {"parallel_ms", parallel_ms},
+                {"speedup", serial_ms / parallel_ms},
+                {"threads", threads},
+                {"traces", static_cast<double>(serial_run.traces.size())}});
+  std::printf("serial %.0f ms, parallel %.0f ms (%.2fx, %d threads), "
+              "outputs bit-identical\n\n",
+              serial_ms, parallel_ms, serial_ms / parallel_ms,
+              static_cast<int>(threads));
 
   const util::Cdf cdf(result.per_trace_off_fraction);
   std::printf("cdf_fraction, disconnected_slot_percent\n");

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "core/evaluation.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 using namespace cyclops;
@@ -17,8 +18,35 @@ using namespace cyclops;
 int main() {
   std::printf("== Table 2: GMA model estimation errors (10G prototype) ==\n\n");
 
+  // Calibrate twice — once forced serial, once over the pool (the LM
+  // Jacobians inside Stage 1/2 are column-parallel) — to record the
+  // speedup and check the fits agree exactly.
+  bench::Timer timer;
+  double serial_stage1_avg = 0.0;
+  double serial_ms = 0.0;
+  {
+    util::ThreadPool::SerialScope force_serial;
+    const bench::CalibratedRig serial_rig =
+        bench::make_calibrated_rig(42, sim::prototype_10g_config());
+    serial_ms = timer.elapsed_ms();
+    serial_stage1_avg = serial_rig.calib.tx_stage1.avg_error_m;
+  }
+
+  timer.reset();
   bench::CalibratedRig rig =
       bench::make_calibrated_rig(42, sim::prototype_10g_config());
+  const double parallel_ms = timer.elapsed_ms();
+  if (rig.calib.tx_stage1.avg_error_m != serial_stage1_avg) {
+    std::fprintf(stderr, "FATAL: parallel calibration differs from serial\n");
+    return 1;
+  }
+  bench::write_bench_json(
+      "table2",
+      {{"serial_ms", serial_ms},
+       {"parallel_ms", parallel_ms},
+       {"speedup", serial_ms / parallel_ms},
+       {"threads", static_cast<double>(
+                       util::ThreadPool::global().thread_count())}});
 
   util::Rng rng(17);
   const core::CombinedErrors combined = core::evaluate_combined_errors(

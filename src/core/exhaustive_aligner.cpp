@@ -2,28 +2,58 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "util/thread_pool.hpp"
 
 namespace cyclops::core {
 namespace {
 
 /// Coarse 2-D raster over (a, b) around a center, scoring with `score`
 /// (higher is better).  Returns the best (a, b).
+///
+/// Rows are scored in parallel and reduced in row order with the same
+/// strict `>` the serial scan used, so the winner is still the first
+/// maximum in row-major order — bit-identical at any thread count.  The
+/// grid values themselves come from the same sequential `+= step`
+/// accumulation as the serial loop.
 template <typename ScoreFn>
 std::pair<double, double> raster(double a0, double b0, double half_extent,
                                  double step, int& evals,
                                  const ScoreFn& score) {
-  double best_a = a0, best_b = b0;
-  double best = score(a0, b0);
-  ++evals;
+  std::vector<double> as, bs;
   for (double a = a0 - half_extent; a <= a0 + half_extent; a += step) {
-    for (double b = b0 - half_extent; b <= b0 + half_extent; b += step) {
-      const double s = score(a, b);
-      ++evals;
-      if (s > best) {
-        best = s;
-        best_a = a;
-        best_b = b;
+    as.push_back(a);
+  }
+  for (double b = b0 - half_extent; b <= b0 + half_extent; b += step) {
+    bs.push_back(b);
+  }
+
+  double best = score(a0, b0);
+  double best_a = a0, best_b = b0;
+  evals += 1 + static_cast<int>(as.size() * bs.size());
+
+  struct RowBest {
+    double score = -std::numeric_limits<double>::infinity();
+    double b = 0.0;
+  };
+  std::vector<RowBest> rows(as.size());
+  util::parallel_for(as.size(), [&](std::size_t i) {
+    RowBest row;
+    for (double b : bs) {
+      const double s = score(as[i], b);
+      if (s > row.score) {
+        row.score = s;
+        row.b = b;
       }
+    }
+    rows[i] = row;
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].score > best) {
+      best = rows[i].score;
+      best_a = as[i];
+      best_b = rows[i].b;
     }
   }
   return {best_a, best_b};

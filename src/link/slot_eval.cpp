@@ -12,7 +12,8 @@ double SlotEvalResult::scattered_fraction(int threshold) const {
     total += n;
     if (n < threshold) scattered += n;
   }
-  return total > 0 ? static_cast<double>(scattered) / total : 1.0;
+  // No off-slots means nothing is scattered.
+  return total > 0 ? static_cast<double>(scattered) / total : 0.0;
 }
 
 SlotEvalResult evaluate_trace(const motion::Trace& trace,
@@ -20,8 +21,17 @@ SlotEvalResult evaluate_trace(const motion::Trace& trace,
   SlotEvalResult result;
   if (trace.samples.size() < 2) return result;
 
+  // Off-slots are only ever consumed per 30-slot frame, so keep running
+  // frame counters instead of materializing a slot bitmap.
   constexpr int kFrameSlots = 30;
-  std::vector<bool> slot_off;
+  int slots_in_frame = 0;
+  int off_in_frame = 0;
+  const auto flush_frame = [&result, &slots_in_frame, &off_in_frame] {
+    if (off_in_frame > 0) result.off_per_dirty_frame.push_back(off_in_frame);
+    result.off_slots += off_in_frame;
+    slots_in_frame = 0;
+    off_in_frame = 0;
+  };
 
   // Walk report intervals; within each, drift grows linearly from the
   // residual TP error after the realignment completes.
@@ -52,29 +62,30 @@ SlotEvalResult evaluate_trace(const motion::Trace& trace,
       }
       const bool off = lat_err > config.lateral_tolerance_m ||
                        ang_err > config.angular_tolerance_rad;
-      slot_off.push_back(off);
+      ++result.total_slots;
+      if (off) ++off_in_frame;
+      if (++slots_in_frame == kFrameSlots) flush_frame();
     }
   }
-
-  result.total_slots = static_cast<int>(slot_off.size());
-  for (std::size_t f = 0; f < slot_off.size(); f += kFrameSlots) {
-    int off_in_frame = 0;
-    const std::size_t end = std::min(slot_off.size(), f + kFrameSlots);
-    for (std::size_t s = f; s < end; ++s) {
-      if (slot_off[s]) ++off_in_frame;
-    }
-    if (off_in_frame > 0) result.off_per_dirty_frame.push_back(off_in_frame);
-    result.off_slots += off_in_frame;
-  }
+  if (slots_in_frame > 0) flush_frame();
   return result;
 }
 
 DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
-                                   const SlotEvalConfig& config) {
+                                   const SlotEvalConfig& config,
+                                   util::ThreadPool& pool) {
+  // Fan the per-trace evaluations out over the pool (each writes only its
+  // own slot), then merge in trace order so counters and the pooled frame
+  // histogram match the serial path exactly.
+  const std::vector<SlotEvalResult> per_trace =
+      util::parallel_map<SlotEvalResult>(
+          traces.size(),
+          [&](std::size_t i) { return evaluate_trace(traces[i], config); },
+          pool);
+
   DatasetEvalResult result;
   result.per_trace_off_fraction.reserve(traces.size());
-  for (const auto& trace : traces) {
-    const SlotEvalResult r = evaluate_trace(trace, config);
+  for (const SlotEvalResult& r : per_trace) {
     result.per_trace_off_fraction.push_back(r.off_fraction());
     result.pooled.total_slots += r.total_slots;
     result.pooled.off_slots += r.off_slots;

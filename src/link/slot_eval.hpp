@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "motion/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cyclops::link {
 
@@ -43,12 +44,16 @@ SlotEvalResult evaluate_trace(const motion::Trace& trace,
                               const SlotEvalConfig& config);
 
 /// Evaluates a dataset; returns per-trace off-fractions (for the Fig 16
-/// CDF) plus the pooled result.
+/// CDF) plus the pooled result.  Traces are evaluated in parallel over
+/// `pool` and merged in trace order, so the result is bit-identical to the
+/// serial path at any thread count (pass util::ThreadPool::serial() to
+/// force inline execution).
 struct DatasetEvalResult {
   std::vector<double> per_trace_off_fraction;
   SlotEvalResult pooled;
 };
-DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
-                                   const SlotEvalConfig& config);
+DatasetEvalResult evaluate_dataset(
+    const std::vector<motion::Trace>& traces, const SlotEvalConfig& config,
+    util::ThreadPool& pool = util::ThreadPool::global());
 
 }  // namespace cyclops::link

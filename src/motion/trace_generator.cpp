@@ -205,23 +205,27 @@ Trace generate_walking_trace(const geom::Pose& base,
 
 std::vector<Trace> generate_dataset(const geom::Pose& base, int count,
                                     const TraceGeneratorConfig& config,
-                                    util::Rng& rng) {
-  std::vector<Trace> traces;
-  traces.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    // Viewer-style variation: calm watchers to active explorers.
-    TraceGeneratorConfig c = config;
-    const double activity = rng.uniform(0.4, 1.5);
-    c.yaw_rate_sigma *= activity;
-    c.pitch_rate_sigma *= activity;
-    c.roll_rate_sigma *= activity;
-    c.sway_speed_sigma *= activity;
-    c.saccade_rate_hz *= activity;
-    c.shift_rate_hz *= activity;
-    util::Rng trace_rng = rng.split();
-    traces.push_back(generate_viewing_trace(base, c, trace_rng));
-  }
-  return traces;
+                                    util::Rng& rng, util::ThreadPool& pool) {
+  // Advance the caller's stream once, then derive child i as a pure
+  // function of (dataset stream, i): trace i is the same no matter how the
+  // items are partitioned across threads.
+  const util::Rng dataset_rng = rng.split();
+  return util::parallel_map<Trace>(
+      static_cast<std::size_t>(std::max(count, 0)),
+      [&](std::size_t i) {
+        util::Rng trace_rng = dataset_rng.split(i);
+        // Viewer-style variation: calm watchers to active explorers.
+        TraceGeneratorConfig c = config;
+        const double activity = trace_rng.uniform(0.4, 1.5);
+        c.yaw_rate_sigma *= activity;
+        c.pitch_rate_sigma *= activity;
+        c.roll_rate_sigma *= activity;
+        c.sway_speed_sigma *= activity;
+        c.saccade_rate_hz *= activity;
+        c.shift_rate_hz *= activity;
+        return generate_viewing_trace(base, c, trace_rng);
+      },
+      pool);
 }
 
 }  // namespace cyclops::motion

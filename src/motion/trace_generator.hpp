@@ -12,6 +12,7 @@
 
 #include "motion/trace.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cyclops::motion {
 
@@ -50,10 +51,13 @@ Trace generate_viewing_trace(const geom::Pose& base,
                              util::Rng& rng);
 
 /// The full §5.4 dataset: `count` traces with per-trace "viewer style"
-/// variation (activity level scales the sigmas).
-std::vector<Trace> generate_dataset(const geom::Pose& base, int count,
-                                    const TraceGeneratorConfig& config,
-                                    util::Rng& rng);
+/// variation (activity level scales the sigmas).  Trace i is generated
+/// from a child RNG keyed off i (Rng::split(i)), so the dataset is
+/// bit-identical at any thread count; `rng` advances by exactly one draw
+/// per call regardless of `count`.
+std::vector<Trace> generate_dataset(
+    const geom::Pose& base, int count, const TraceGeneratorConfig& config,
+    util::Rng& rng, util::ThreadPool& pool = util::ThreadPool::global());
 
 /// Room-scale (walking) VR: the user strolls between waypoints inside a
 /// horizontal box around the base pose, head yawed roughly along the walk

@@ -19,24 +19,48 @@ double cost_of(std::span<const double> residuals) {
 void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
                       double epsilon, Matrix& jacobian) {
   std::vector<double> p(params.begin(), params.end());
-  std::vector<double> r_plus, r_minus;
-  fn(p, r_plus);  // size probe
-  const std::size_t m = r_plus.size();
-  const std::size_t n = p.size();
-  jacobian = Matrix(m, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    // Scale the step with the parameter magnitude for conditioning.
-    const double h = epsilon * std::max(1.0, std::abs(p[j]));
-    const double saved = p[j];
-    p[j] = saved + h;
-    fn(p, r_plus);
-    p[j] = saved - h;
-    fn(p, r_minus);
-    p[j] = saved;
-    for (std::size_t i = 0; i < m; ++i) {
-      jacobian(i, j) = (r_plus[i] - r_minus[i]) / (2.0 * h);
-    }
+  std::vector<double> probe;
+  fn(p, probe);  // size probe
+  JacobianScratch scratch;
+  numeric_jacobian(fn, params, epsilon, probe.size(), jacobian, scratch);
+}
+
+void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
+                      double epsilon, std::size_t residual_count,
+                      Matrix& jacobian, JacobianScratch& scratch,
+                      util::ThreadPool& pool) {
+  const std::size_t m = residual_count;
+  const std::size_t n = params.size();
+  if (jacobian.rows() != m || jacobian.cols() != n) jacobian = Matrix(m, n);
+  const std::size_t max_chunks = pool.thread_count();
+  if (scratch.params.size() < max_chunks) {
+    scratch.params.resize(max_chunks);
+    scratch.r_plus.resize(max_chunks);
+    scratch.r_minus.resize(max_chunks);
   }
+  // Each chunk perturbs its own parameter copy and fills disjoint columns
+  // of the (pre-sized) Jacobian; per-column arithmetic is exactly the
+  // serial loop's, so the result is independent of the chunking.
+  pool.run_chunked(n, [&](std::size_t chunk, std::size_t begin,
+                          std::size_t end) {
+    std::vector<double>& p = scratch.params[chunk];
+    std::vector<double>& r_plus = scratch.r_plus[chunk];
+    std::vector<double>& r_minus = scratch.r_minus[chunk];
+    p.assign(params.begin(), params.end());
+    for (std::size_t j = begin; j < end; ++j) {
+      // Scale the step with the parameter magnitude for conditioning.
+      const double h = epsilon * std::max(1.0, std::abs(p[j]));
+      const double saved = p[j];
+      p[j] = saved + h;
+      fn(p, r_plus);
+      p[j] = saved - h;
+      fn(p, r_minus);
+      p[j] = saved;
+      for (std::size_t i = 0; i < m; ++i) {
+        jacobian(i, j) = (r_plus[i] - r_minus[i]) / (2.0 * h);
+      }
+    }
+  });
 }
 
 LevMarResult levenberg_marquardt(const ResidualFn& fn,
@@ -50,12 +74,16 @@ LevMarResult levenberg_marquardt(const ResidualFn& fn,
   result.initial_cost = cost;
 
   double lambda = options.initial_lambda;
+  // Jacobian storage and per-chunk scratch live across iterations: the
+  // residual count is fixed, so nothing is reallocated after iteration 1.
   Matrix jac;
+  JacobianScratch scratch;
   std::vector<double> step, candidate, cand_residuals;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    numeric_jacobian(fn, params, options.jacobian_epsilon, jac);
+    numeric_jacobian(fn, params, options.jacobian_epsilon, residuals.size(),
+                     jac, scratch);
     Matrix jtj = normal_matrix(jac);
     std::vector<double> jtr = transpose_times(jac, residuals);
 

@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace cyclops::opt {
 
 /// Residual function: fills `residuals` given `params`.  The residual vector
@@ -43,9 +45,30 @@ LevMarResult levenberg_marquardt(const ResidualFn& fn,
                                  std::vector<double> initial_guess,
                                  const LevMarOptions& options = {});
 
+/// Per-chunk scratch for the parallel Jacobian (one parameter/residual
+/// buffer set per pool chunk).  Owned by the caller so repeated Jacobian
+/// evaluations (every LM iteration) reuse the allocations.
+struct JacobianScratch {
+  std::vector<std::vector<double>> params;
+  std::vector<std::vector<double>> r_plus;
+  std::vector<std::vector<double>> r_minus;
+};
+
 /// Central-difference Jacobian of `fn` at `params` (rows = residuals,
-/// cols = params), exposed for tests.
+/// cols = params), exposed for tests.  Calls `fn` once to size the
+/// residual vector, then delegates to the sized overload.
 void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
                       double epsilon, class Matrix& jacobian);
+
+/// Column-parallel central differences: columns are statically chunked
+/// over `pool`, each chunk perturbing its own copy of `params` into its
+/// own residual buffers, so the result is bit-identical to the serial path
+/// at any thread count.  `residual_count` is the (fixed) residual vector
+/// length — callers that already evaluated `fn` pass it to skip the
+/// sizing probe.
+void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
+                      double epsilon, std::size_t residual_count,
+                      class Matrix& jacobian, JacobianScratch& scratch,
+                      util::ThreadPool& pool = util::ThreadPool::global());
 
 }  // namespace cyclops::opt

@@ -76,4 +76,13 @@ double Rng::normal(double mean, double stddev) noexcept {
 
 Rng Rng::split() noexcept { return Rng(next_u64()); }
 
+Rng Rng::split(std::uint64_t key) const noexcept {
+  // Fold the full state with the key through splitmix64 so children of
+  // nearby keys (0, 1, 2, ...) are decorrelated; const access only, so
+  // concurrent keyed splits off a shared parent are race-free.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                     rotl(s_[3], 43) ^ (key + 1) * 0x9e3779b97f4a7c15ULL;
+  return Rng(splitmix64(sm));
+}
+
 }  // namespace cyclops::util

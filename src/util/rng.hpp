@@ -36,6 +36,12 @@ class Rng {
   /// A new independent generator derived from this one's stream.
   Rng split() noexcept;
 
+  /// Keyed split: a child generator that is a pure function of (current
+  /// state, key) — it does NOT advance this generator.  Deriving child i
+  /// via split(i) makes per-item streams identical regardless of the order
+  /// (or thread) in which items are processed.
+  Rng split(std::uint64_t key) const noexcept;
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -1,0 +1,128 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace cyclops::util {
+namespace {
+
+// True while the current thread is executing a pool chunk (nested
+// dispatch must run inline to avoid deadlocking the fixed worker set) or
+// holds an active SerialScope.
+thread_local int tl_inline_depth = 0;
+
+}  // namespace
+
+ThreadPool::SerialScope::SerialScope() { ++tl_inline_depth; }
+ThreadPool::SerialScope::~SerialScope() { --tl_inline_depth; }
+
+std::size_t ThreadPool::env_thread_count() {
+  if (const char* env = std::getenv("CYCLOPS_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = env_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
+                                                            std::size_t chunks,
+                                                            std::size_t c) {
+  const std::size_t q = n / chunks;
+  const std::size_t r = n % chunks;
+  const std::size_t begin = c * q + std::min(c, r);
+  return {begin, begin + q + (c < r ? 1 : 0)};
+}
+
+void ThreadPool::run_chunked(std::size_t n, const ChunkBody& body) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, thread_count());
+  if (workers_.empty() || chunks == 1 || tl_inline_depth > 0) {
+    ++tl_inline_depth;
+    body(0, 0, n);
+    --tl_inline_depth;
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    job_n_ = n;
+    job_chunks_ = chunks;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  // The caller is executor 0; workers take chunks 1..chunks-1.
+  const auto [begin, end] = chunk_range(n, chunks, 0);
+  ++tl_inline_depth;
+  body(0, begin, end);
+  --tl_inline_depth;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::worker_main(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ChunkBody* body = nullptr;
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      n = job_n_;
+      chunks = job_chunks_;
+    }
+    const std::size_t c = worker_index + 1;
+    if (c < chunks) {
+      const auto [begin, end] = chunk_range(n, chunks, c);
+      ++tl_inline_depth;
+      (*body)(c, begin, end);
+      --tl_inline_depth;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+ThreadPool& ThreadPool::serial() {
+  static ThreadPool pool(1);
+  return pool;
+}
+
+}  // namespace cyclops::util

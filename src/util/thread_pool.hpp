@@ -1,0 +1,117 @@
+// Deterministic parallel runtime.
+//
+// A fixed pool of workers plus chunked *static* partitioning (no work
+// stealing): `parallel_for(n, fn)` splits [0, n) into at most
+// `thread_count()` contiguous chunks, chunk c always covers the same index
+// range for a given (n, thread_count), and every index runs exactly the
+// same arithmetic it would run serially.  As long as iteration i only
+// writes state owned by i (its output slot, its child RNG), results are
+// bit-identical to the serial path and independent of the thread count.
+//
+// Thread count resolution: explicit constructor argument, else the
+// CYCLOPS_THREADS environment variable, else std::thread::hardware
+// concurrency.  Escape hatches: ThreadPool::serial() is a pool that runs
+// everything inline, and SerialScope forces *all* dispatch from the
+// current thread inline for its lifetime (how benches time the serial
+// baseline without re-plumbing every call site).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cyclops::util {
+
+class ThreadPool {
+ public:
+  /// Chunk body: half-open index range [begin, end) plus the chunk's index
+  /// (stable across runs — use it to pick per-chunk scratch buffers).
+  using ChunkBody =
+      std::function<void(std::size_t chunk, std::size_t begin, std::size_t end)>;
+
+  /// `threads` == 0 resolves CYCLOPS_THREADS / hardware concurrency;
+  /// `threads` == 1 is a purely inline (serial) pool.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors (worker threads + the calling thread).
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// Runs `body` over [0, n) split into min(n, thread_count()) contiguous
+  /// chunks; blocks until all chunks finish.  Runs inline when the pool is
+  /// serial, when called from inside another pool job (nesting), or under
+  /// an active SerialScope.
+  void run_chunked(std::size_t n, const ChunkBody& body);
+
+  /// Static chunk geometry: the index range of chunk c when [0, n) is
+  /// split into `chunks` near-equal contiguous pieces.
+  static std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                         std::size_t chunks,
+                                                         std::size_t c);
+
+  /// Shared process-wide pool (CYCLOPS_THREADS / hardware concurrency).
+  static ThreadPool& global();
+  /// Shared always-inline pool — the `.serial()` escape hatch for call
+  /// sites that take a pool parameter.
+  static ThreadPool& serial();
+  /// Thread count the environment requests (CYCLOPS_THREADS, else
+  /// hardware concurrency, clamped to >= 1).
+  static std::size_t env_thread_count();
+
+  /// While alive, every run_chunked() issued from this thread executes
+  /// inline regardless of the pool it targets.
+  class SerialScope {
+   public:
+    SerialScope();
+    ~SerialScope();
+    SerialScope(const SerialScope&) = delete;
+    SerialScope& operator=(const SerialScope&) = delete;
+  };
+
+ private:
+  void worker_main(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+
+  // Job hand-off state, all guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const ChunkBody* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunks_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  // Serializes concurrent submitters so one job is in flight at a time.
+  std::mutex submit_mu_;
+};
+
+/// `fn(i)` for every i in [0, n), statically chunked over `pool`.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn,
+                  ThreadPool& pool = ThreadPool::global()) {
+  pool.run_chunked(n, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// `out[i] = fn(i)` for every i in [0, n); each iteration writes only its
+/// own slot, so the result is identical at any thread count.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn,
+                            ThreadPool& pool = ThreadPool::global()) {
+  std::vector<T> out(n);
+  pool.run_chunked(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace cyclops::util

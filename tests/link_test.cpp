@@ -127,6 +127,12 @@ TEST(SlotEvalTest, ScatteredFraction) {
   EXPECT_NEAR(r.scattered_fraction(20), 1.0, 1e-12);
 }
 
+TEST(SlotEvalTest, ScatteredFractionWithNoOffSlotsIsZero) {
+  // No dirty frames -> no off-slots -> nothing is "scattered".
+  const SlotEvalResult r;
+  EXPECT_EQ(r.scattered_fraction(10), 0.0);
+}
+
 TEST(SlotEvalTest, SyntheticViewingTraceMostlyConnected) {
   // A generated §5.4-style trace should be operational ~95-100 % of slots
   // (the paper reports 98.6 % on average).
