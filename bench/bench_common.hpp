@@ -8,7 +8,6 @@
 // TP loop closed.
 #pragma once
 
-#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,32 +16,15 @@
 #include "link/fso_link.hpp"
 #include "motion/profile.hpp"
 #include "sim/prototype.hpp"
+#include "util/bench_io.hpp"
 
 namespace cyclops::bench {
 
-/// Wall-clock stopwatch for the serial-vs-parallel comparisons the
-/// harness binaries report.
-class Timer {
- public:
-  Timer() : start_(std::chrono::steady_clock::now()) {}
-  void reset() { start_ = std::chrono::steady_clock::now(); }
-  double elapsed_ms() const {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// Writes `BENCH_<name>.json` in the working directory with the given
-/// numeric fields (flat object; values printed with enough precision to
-/// round-trip).  Establishes the perf trajectory across PRs — run the
-/// bench, diff the JSON.
-void write_bench_json(
-    const std::string& name,
-    const std::vector<std::pair<std::string, double>>& fields);
+/// Timing + JSON reporting now live in util/bench_io.hpp (so src/ code —
+/// e.g. the event engine's trace hooks — can use them too); aliased here
+/// so the harness binaries keep their spelling.
+using util::Timer;
+using util::write_bench_json;
 
 /// A prototype with its calibration — the starting point of every
 /// experiment.

@@ -4,6 +4,10 @@
 // Paper anchors: operational in 98.6 % of slots on average (per-trace
 // range ~95-99.98 %), effective bandwidth ~23 Gbps, and >60 % of
 // off-slots falling in 30-slot frames with fewer than 10 off-slots.
+//
+// Runs the study on both engines — the legacy fixed-step loop and the
+// discrete-event engine (the default) — checks them bit-identical, and
+// reports the event engine's throughput and speedup.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -17,12 +21,7 @@ using namespace cyclops;
 
 namespace {
 
-struct Fig16Run {
-  std::vector<motion::Trace> traces;
-  link::DatasetEvalResult result;
-};
-
-Fig16Run run_fig16(util::ThreadPool& pool) {
+std::vector<motion::Trace> make_dataset(util::ThreadPool& pool) {
   util::Rng rng(2022);
   const geom::Pose base{geom::Mat3::identity(), {0.0, 0.8, 1.2}};
   // The §5.4 dataset (Lo et al. 360° viewers) is a different population
@@ -32,12 +31,15 @@ Fig16Run run_fig16(util::ThreadPool& pool) {
   gen_config.max_linear_mps = 0.19;
   gen_config.shift_peak_mps = 0.17;
   gen_config.shift_rate_hz = 0.22;
-  Fig16Run run;
-  run.traces = motion::generate_dataset(base, 500, gen_config, rng, pool);
+  return motion::generate_dataset(base, 500, gen_config, rng, pool);
+}
 
-  const link::SlotEvalConfig config;  // §5.4 constants (25G tolerances)
-  run.result = link::evaluate_dataset(run.traces, config, pool);
-  return run;
+bool same_results(const link::DatasetEvalResult& a,
+                  const link::DatasetEvalResult& b) {
+  return a.per_trace_off_fraction == b.per_trace_off_fraction &&
+         a.pooled.off_per_dirty_frame == b.pooled.off_per_dirty_frame &&
+         a.pooled.total_slots == b.pooled.total_slots &&
+         a.pooled.off_slots == b.pooled.off_slots;
 }
 
 }  // namespace
@@ -46,38 +48,65 @@ int main() {
   std::printf("== Fig 16: CDF of per-trace disconnected-slot fraction "
               "(25G, 500 traces, 1 ms slots) ==\n\n");
 
-  // Serial baseline, then the pool — same seeds, must agree bit-for-bit.
+  const auto traces = make_dataset(util::ThreadPool::global());
+
+  link::SlotEvalConfig legacy_config;  // §5.4 constants (25G tolerances)
+  legacy_config.engine = link::EvalEngine::kFixedStep;
+  link::SlotEvalConfig event_config;
+  event_config.engine = link::EvalEngine::kEvent;
+
+  // Legacy fixed-step oracle, serial: the pre-event-engine baseline.
   bench::Timer timer;
-  const Fig16Run serial_run = run_fig16(util::ThreadPool::serial());
-  const double serial_ms = timer.elapsed_ms();
+  const link::DatasetEvalResult legacy =
+      link::evaluate_dataset(traces, legacy_config, util::ThreadPool::serial());
+  const double legacy_ms = timer.elapsed_ms();
+
+  // Event engine, serial then parallel — all three must agree exactly.
+  timer.reset();
+  const link::DatasetEvalResult event_serial =
+      link::evaluate_dataset(traces, event_config, util::ThreadPool::serial());
+  const double event_serial_ms = timer.elapsed_ms();
 
   timer.reset();
-  const Fig16Run parallel_run = run_fig16(util::ThreadPool::global());
-  const double parallel_ms = timer.elapsed_ms();
+  const link::DatasetEvalResult event_parallel =
+      link::evaluate_dataset(traces, event_config, util::ThreadPool::global());
+  const double event_parallel_ms = timer.elapsed_ms();
 
-  if (serial_run.result.per_trace_off_fraction !=
-          parallel_run.result.per_trace_off_fraction ||
-      serial_run.result.pooled.off_per_dirty_frame !=
-          parallel_run.result.pooled.off_per_dirty_frame ||
-      serial_run.result.pooled.total_slots !=
-          parallel_run.result.pooled.total_slots) {
+  if (!same_results(legacy, event_serial)) {
+    std::fprintf(stderr, "FATAL: event engine differs from fixed-step\n");
+    return 1;
+  }
+  if (!same_results(event_serial, event_parallel) ||
+      event_serial.events != event_parallel.events) {
     std::fprintf(stderr, "FATAL: parallel result differs from serial\n");
     return 1;
   }
-  const link::DatasetEvalResult& result = parallel_run.result;
+  const link::DatasetEvalResult& result = event_parallel;
 
   const double threads =
       static_cast<double>(util::ThreadPool::global().thread_count());
+  const double events_per_sec =
+      static_cast<double>(result.events) / (event_parallel_ms * 1e-3);
   bench::write_bench_json(
-      "fig16", {{"serial_ms", serial_ms},
-                {"parallel_ms", parallel_ms},
-                {"speedup", serial_ms / parallel_ms},
-                {"threads", threads},
-                {"traces", static_cast<double>(serial_run.traces.size())}});
-  std::printf("serial %.0f ms, parallel %.0f ms (%.2fx, %d threads), "
-              "outputs bit-identical\n\n",
-              serial_ms, parallel_ms, serial_ms / parallel_ms,
-              static_cast<int>(threads));
+      "fig16",
+      {{"legacy_fixed_step_ms", legacy_ms},
+       {"event_serial_ms", event_serial_ms},
+       {"event_parallel_ms", event_parallel_ms},
+       {"legacy_vs_event_speedup", legacy_ms / event_serial_ms},
+       {"parallel_speedup", event_serial_ms / event_parallel_ms},
+       {"events", static_cast<double>(result.events)},
+       {"events_per_sec", events_per_sec},
+       {"threads", threads},
+       {"traces", static_cast<double>(traces.size())}});
+  std::printf("fixed-step serial %.0f ms; event engine %.0f ms serial "
+              "(%.2fx), %.0f ms on %d threads (%.2fx more)\n",
+              legacy_ms, event_serial_ms, legacy_ms / event_serial_ms,
+              event_parallel_ms, static_cast<int>(threads),
+              event_serial_ms / event_parallel_ms);
+  std::printf("%llu events dispatched (%.1f M events/s), outputs "
+              "bit-identical across engines and thread counts\n\n",
+              static_cast<unsigned long long>(result.events),
+              events_per_sec / 1e6);
 
   const util::Cdf cdf(result.per_trace_off_fraction);
   std::printf("cdf_fraction, disconnected_slot_percent\n");

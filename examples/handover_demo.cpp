@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "link/multi_tx.hpp"
+#include "link/session_log.hpp"
 #include "motion/profile.hpp"
 #include "util/units.hpp"
 
@@ -41,15 +42,33 @@ int main() {
 
   link::MultiTxConfig config;
   config.handover.switch_delay_s = 0.2;
+  // The event engine can abandon a drop-triggered switch if the occluder
+  // clears before the 200 ms switch delay elapses.
+  config.handover.cancel_on_reacquire = true;
+  link::SessionLog log;
   const link::MultiTxResult result =
-      link::run_multi_tx_session(chains, profile, config, occlusion);
+      link::run_multi_tx_session(chains, profile, config, occlusion, &log);
 
   std::printf("\nper-TX usable fractions: TX0 %.1f%%, TX1 %.1f%%\n",
               100.0 * result.per_tx_usable_fraction[0],
               100.0 * result.per_tx_usable_fraction[1]);
   std::printf("best single TX:          %.1f%%\n",
               100.0 * result.best_single_tx_fraction);
-  std::printf("with handover (2 TX):    %.1f%%  (%d switches)\n",
-              100.0 * result.served_fraction, result.switches);
+  std::printf("with handover (2 TX):    %.1f%%  (%d switches, %d cancelled "
+              "by reacquisition, %llu events)\n",
+              100.0 * result.served_fraction, result.switches,
+              result.cancelled_switches,
+              static_cast<unsigned long long>(result.events));
+
+  // Every handover / reacquisition at its exact event-engine timestamp —
+  // these land between 1 ms sampling slots, un-quantized.
+  for (const auto& event : log.events()) {
+    if (event.kind != link::SessionEventKind::kHandover &&
+        event.kind != link::SessionEventKind::kReacquisition) {
+      continue;
+    }
+    std::printf("  t=%9.4f s  %-13s (%.1f dBm)\n", util::us_to_s(event.time),
+                link::to_string(event.kind), event.power_dbm);
+  }
   return 0;
 }

@@ -1,0 +1,40 @@
+// Discrete-event core: the event record shared by the queue, scheduler,
+// processes, and trace hooks.
+//
+// Cyclops' control plane is asynchronous — TP actuation latency, galvo
+// settle, SFP reacquisition, and handover timers all land *between* the
+// 1 ms slot boundaries the legacy fixed-step simulators walk.  The event
+// engine executes those occurrences at their exact microsecond times.
+// Determinism rules (see DESIGN.md §9):
+//   * events are ordered by (time, schedule sequence) — ties dispatch in
+//     FIFO schedule order, never by pointer value or hash order;
+//   * a Scheduler is a single-threaded object; fan-out parallelism runs
+//     one engine per trace/session via util::parallel_for.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_clock.hpp"
+
+namespace cyclops::event {
+
+/// Index of a registered Process within its Scheduler.
+using ProcessId = std::uint32_t;
+
+/// Domain-defined discriminator; each subsystem declares its own enum
+/// (e.g. link::SessionEventType) and interprets the payload accordingly.
+using EventType = std::uint32_t;
+
+inline constexpr ProcessId kNoProcess = 0xffffffffu;
+
+/// One scheduled occurrence.  The POD payload (i64/f64) covers slot
+/// counts, TX indices, and powers without a heap allocation per event.
+struct Event {
+  util::SimTimeUs time = 0;
+  EventType type = 0;
+  ProcessId target = kNoProcess;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+};
+
+}  // namespace cyclops::event

@@ -1,0 +1,51 @@
+#include "event/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cyclops::event {
+
+EventQueue::Id EventQueue::push(const Event& ev) {
+  const Id id = next_id_++;
+  heap_.push_back(Entry{ev, id});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  states_.push_back(State::kPending);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(Id id) {
+  if (id == 0 || id >= next_id_) return false;
+  State& state = states_[id - 1];
+  if (state != State::kPending) return false;
+  state = State::kCancelled;
+  --live_;
+  return true;
+}
+
+void EventQueue::prune() {
+  while (!heap_.empty() &&
+         states_[heap_.front().id - 1] == State::kCancelled) {
+    states_[heap_.front().id - 1] = State::kPopped;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+const Event* EventQueue::peek() {
+  prune();
+  return heap_.empty() ? nullptr : &heap_.front().event;
+}
+
+Event EventQueue::pop() {
+  prune();
+  assert(!heap_.empty());
+  states_[heap_.front().id - 1] = State::kPopped;
+  --live_;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Event ev = heap_.back().event;
+  heap_.pop_back();
+  return ev;
+}
+
+}  // namespace cyclops::event

@@ -1,0 +1,63 @@
+// Pending-event set: a binary min-heap keyed on (time, sequence) with
+// deterministic FIFO tie-breaking and O(1) lazy cancellation — the same
+// shape as ROOT-Sim's node_heap_t, plus the cancellable-timer semantics of
+// wisun-br-linux's timer list.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace cyclops::event {
+
+class EventQueue {
+ public:
+  /// Handle of a pushed event; 0 is never issued (reserved for "invalid").
+  using Id = std::uint64_t;
+
+  /// O(log n).  Ids increase monotonically in push order, which is what
+  /// makes equal-time events pop FIFO.
+  Id push(const Event& ev);
+
+  /// Lazy cancel: the entry stays in the heap but will be skipped.
+  /// Returns false when `id` already popped, already cancelled, or never
+  /// issued — cancelling a fired timer is a harmless no-op.
+  bool cancel(Id id);
+
+  /// Next live event, or nullptr when empty.  Prunes cancelled entries.
+  const Event* peek();
+
+  /// Pops the next live event.  Precondition: !empty().
+  Event pop();
+
+  bool empty() { return peek() == nullptr; }
+
+  /// Live (non-cancelled) entries.
+  std::size_t size() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    Event event;
+    Id id = 0;
+  };
+  enum class State : std::uint8_t { kPending, kCancelled, kPopped };
+
+  /// Min-heap order: earliest time first, lowest id (schedule order) on ties.
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    return a.event.time != b.event.time ? a.event.time > b.event.time
+                                        : a.id > b.id;
+  }
+  void prune();
+
+  std::vector<Entry> heap_;
+  /// Per-id lifecycle, indexed by id - 1: ids are issued sequentially, so
+  /// a flat vector beats hash sets on the hot push/pop path (one event per
+  /// report interval and per link-state run adds up — see BENCH_fig16).
+  std::vector<State> states_;
+  std::size_t live_ = 0;
+  Id next_id_ = 1;
+};
+
+}  // namespace cyclops::event

@@ -1,0 +1,81 @@
+// The event loop: owns the clock and the pending-event heap, dispatches
+// typed events to registered processes, and hands out cancellable Timer
+// handles.  One Scheduler == one deterministic simulation; parallel
+// workloads run one scheduler per trace/session (see DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "event/event.hpp"
+#include "event/event_queue.hpp"
+#include "event/process.hpp"
+#include "event/trace_hook.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::event {
+
+/// Cancellable handle for a scheduled event.  Value type: copying it does
+/// not duplicate the event; cancelling any copy cancels the one event.
+class Timer {
+ public:
+  Timer() = default;
+  /// False for default-constructed handles (never scheduled).
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit Timer(EventQueue::Id id) : id_(id) {}
+  EventQueue::Id id_ = 0;
+};
+
+class Scheduler {
+ public:
+  /// Registers a handler (non-owning; the process must outlive the
+  /// scheduler).  Returns the id events use as their `target`.
+  ProcessId add_process(Process* process);
+
+  /// Observability hook (non-owning).  Hooks fire in registration order.
+  void add_hook(TraceHook* hook);
+
+  /// Schedules `ev` at ev.time (must be >= now()).
+  Timer schedule(const Event& ev);
+
+  /// Schedules `ev` at now() + dt (dt >= 0); ev.time is overwritten.
+  Timer schedule_after(util::SimTimeUs dt, Event ev);
+
+  /// Cancels a pending event.  Returns false when the event already
+  /// dispatched or was already cancelled — safe to call either way.
+  bool cancel(const Timer& timer);
+
+  /// Dispatches the next event, advancing the clock to its time.
+  /// Returns false when no live events remain.
+  bool step();
+
+  /// Dispatches every event with time <= t_end, then advances the clock
+  /// to t_end.  Returns the number of events dispatched.
+  std::uint64_t run_until(util::SimTimeUs t_end);
+
+  /// Dispatches until the queue drains.
+  std::uint64_t run();
+
+  util::SimTimeUs now() const noexcept { return clock_.now(); }
+  bool empty() { return queue_.empty(); }
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+  std::uint64_t scheduled() const noexcept { return scheduled_; }
+
+  /// Label of a registered process (for trace hooks).
+  const char* process_name(ProcessId id) const noexcept;
+
+ private:
+  void dispatch(const Event& ev);
+
+  EventQueue queue_;
+  util::SimClock clock_;
+  std::vector<Process*> processes_;
+  std::vector<TraceHook*> hooks_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t scheduled_ = 0;
+};
+
+}  // namespace cyclops::event

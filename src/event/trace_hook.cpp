@@ -1,0 +1,49 @@
+#include "event/trace_hook.hpp"
+
+#include "event/scheduler.hpp"
+#include "util/bench_io.hpp"
+
+namespace cyclops::event {
+
+void TraceHook::on_schedule(const Scheduler&, const Event&) {}
+void TraceHook::on_cancel(const Scheduler&, const Event&) {}
+void TraceHook::on_dispatch(const Scheduler&, const Event&) {}
+
+void EventCounter::on_schedule(const Scheduler&, const Event&) {
+  ++scheduled_;
+}
+
+void EventCounter::on_cancel(const Scheduler&, const Event&) { ++cancelled_; }
+
+void EventCounter::on_dispatch(const Scheduler&, const Event& ev) {
+  ++dispatched_;
+  ++by_type_[ev.type];
+}
+
+std::uint64_t EventCounter::dispatched(EventType type) const {
+  const auto it = by_type_.find(type);
+  return it != by_type_.end() ? it->second : 0;
+}
+
+JsonlTraceWriter::JsonlTraceWriter(const std::filesystem::path& path)
+    : file_(std::fopen(path.string().c_str(), "w")) {
+  if (!file_) {
+    std::fprintf(stderr, "JsonlTraceWriter: cannot open %s\n",
+                 path.string().c_str());
+  }
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void JsonlTraceWriter::on_dispatch(const Scheduler& sched, const Event& ev) {
+  if (!file_) return;
+  std::fprintf(file_, "{\"t_us\":%lld,\"type\":%u,\"target\":\"%s\",\"i64\":%lld,\"f64\":",
+               static_cast<long long>(ev.time), ev.type,
+               sched.process_name(ev.target), static_cast<long long>(ev.i64));
+  std::fprintf(file_, util::kJsonNumberFormat, ev.f64);
+  std::fputs("}\n", file_);
+}
+
+}  // namespace cyclops::event

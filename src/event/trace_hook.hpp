@@ -1,0 +1,65 @@
+// Observability for the event engine: hooks see every schedule / cancel /
+// dispatch.  Ships two implementations — per-type counters (cheap, always
+// safe to attach) and a JSONL event trace for offline inspection.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "event/event.hpp"
+
+namespace cyclops::event {
+
+class Scheduler;
+
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+  virtual void on_schedule(const Scheduler& sched, const Event& ev);
+  virtual void on_cancel(const Scheduler& sched, const Event& ev);
+  virtual void on_dispatch(const Scheduler& sched, const Event& ev);
+};
+
+/// Per-event-type counters and totals.  std::map keeps the histogram
+/// iteration order deterministic for reports.
+class EventCounter final : public TraceHook {
+ public:
+  void on_schedule(const Scheduler& sched, const Event& ev) override;
+  void on_cancel(const Scheduler& sched, const Event& ev) override;
+  void on_dispatch(const Scheduler& sched, const Event& ev) override;
+
+  std::uint64_t scheduled() const noexcept { return scheduled_; }
+  std::uint64_t cancelled() const noexcept { return cancelled_; }
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+  std::uint64_t dispatched(EventType type) const;
+  const std::map<EventType, std::uint64_t>& histogram() const noexcept {
+    return by_type_;
+  }
+
+ private:
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::map<EventType, std::uint64_t> by_type_;
+};
+
+/// Writes one JSON object per dispatched event:
+///   {"t_us":1250,"type":3,"target":"tracker","i64":0,"f64":-12.5}
+/// Numbers use the same round-trip format as util::write_bench_json.
+class JsonlTraceWriter final : public TraceHook {
+ public:
+  explicit JsonlTraceWriter(const std::filesystem::path& path);
+  ~JsonlTraceWriter() override;
+  JsonlTraceWriter(const JsonlTraceWriter&) = delete;
+  JsonlTraceWriter& operator=(const JsonlTraceWriter&) = delete;
+
+  bool ok() const noexcept { return file_ != nullptr; }
+  void on_dispatch(const Scheduler& sched, const Event& ev) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace cyclops::event

@@ -1,0 +1,193 @@
+#include "link/event_eval.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "event/scheduler.hpp"
+
+namespace cyclops::link {
+namespace {
+
+/// First s in [lo, hi) where `pred(s)` holds, or hi when none.  Requires
+/// a monotone predicate (false... then true...), which IntervalModel
+/// guarantees per region — see the off_at comment in slot_eval.hpp.
+template <typename Pred>
+int first_true(int lo, int hi, Pred&& pred) {
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (pred(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// Tallies link-state runs into the §5.4 result: total/off slot counters
+/// plus the per-30-slot-frame off histogram, advancing frame-by-frame
+/// instead of slot-by-slot.
+class FrameAccountant final : public event::Process {
+ public:
+  void handle(event::Scheduler&, const event::Event& ev) override {
+    const bool off = ev.type == kEvOffRun;
+    int count = static_cast<int>(ev.i64);
+    result_.total_slots += count;
+    while (count > 0) {
+      const int take =
+          std::min(count, detail::kFrameSlots - slots_in_frame_);
+      slots_in_frame_ += take;
+      if (off) off_in_frame_ += take;
+      if (slots_in_frame_ == detail::kFrameSlots) flush();
+      count -= take;
+    }
+  }
+
+  const char* name() const noexcept override { return "frame_accountant"; }
+
+  /// Call once after the scheduler drains: flushes the final partial frame.
+  SlotEvalResult finish() {
+    if (slots_in_frame_ > 0) flush();
+    return std::move(result_);
+  }
+
+ private:
+  void flush() {
+    if (off_in_frame_ > 0) result_.off_per_dirty_frame.push_back(off_in_frame_);
+    result_.off_slots += off_in_frame_;
+    slots_in_frame_ = 0;
+    off_in_frame_ = 0;
+  }
+
+  SlotEvalResult result_;
+  int slots_in_frame_ = 0;
+  int off_in_frame_ = 0;
+};
+
+/// The TP/drift process: one kEvReportInterval event per trace sample.
+/// For the interval it computes the drift rates, bisects for the first
+/// disconnected slot in each latency region, and schedules the resulting
+/// on/off runs (at their exact start times) to the frame accountant, then
+/// chains the next report event.
+class TraceReportProcess final : public event::Process {
+ public:
+  TraceReportProcess(const motion::Trace& trace, const SlotEvalConfig& config,
+                     event::ProcessId accountant)
+      : trace_(trace), config_(config), accountant_(accountant) {}
+
+  void set_self(event::ProcessId self) { self_ = self; }
+
+  void handle(event::Scheduler& sched, const event::Event& ev) override {
+    const std::size_t i = static_cast<std::size_t>(ev.i64);
+    const auto& prev = trace_.samples[i - 1];
+    const auto& cur = trace_.samples[i];
+
+    detail::IntervalModel model;
+    model.gap_ms = util::us_to_ms(cur.time - prev.time);
+    model.config = &config_;
+    if (model.gap_ms > 0.0) {
+      model.lat_rate =
+          geom::translation_distance(prev.pose, cur.pose) / model.gap_ms;
+      model.ang_rate =
+          geom::rotation_distance(prev.pose, cur.pose) / model.gap_ms;
+
+      const int slots =
+          std::max(1, static_cast<int>(model.gap_ms / config_.slot_ms));
+      // Carry-region boundary: slots [0, carry) still accumulate on the
+      // previous interval's budget.  Both region predicates are monotone,
+      // so two bisections find the exact first off slot of each region.
+      const int carry = first_true(
+          0, slots, [&model](int s) { return !model.in_carry(s); });
+      const int off_a = first_true(
+          0, carry, [&model](int s) { return model.off_at(s); });
+      const int off_b = first_true(
+          carry, slots, [&model](int s) { return model.off_at(s); });
+
+      // Emit the interval as maximal same-state runs, in slot order:
+      // [0,off_a) on, [off_a,carry) off, [carry,off_b) on, [off_b,slots)
+      // off — with same-state neighbors (adjacent via an empty middle
+      // segment, e.g. a fully-connected interval) merged into one event.
+      const int bounds[5] = {0, off_a, carry, off_b, slots};
+      int pend_begin = -1, pend_end = 0;
+      bool pend_off = false;
+      const auto emit = [&] {
+        if (pend_begin < 0) return;
+        event::Event run;
+        run.time =
+            prev.time + util::us_from_ms(pend_begin * config_.slot_ms);
+        run.type = pend_off ? kEvOffRun : kEvOnRun;
+        run.target = accountant_;
+        run.i64 = pend_end - pend_begin;
+        run.f64 = pend_off ? model.lat_rate : 0.0;
+        sched.schedule(run);
+      };
+      for (int k = 1; k <= 4; ++k) {
+        const bool off = (k % 2) == 0;  // segments alternate on/off.
+        if (bounds[k] <= bounds[k - 1]) continue;
+        if (pend_begin >= 0 && off == pend_off) {
+          pend_end = bounds[k];  // coalesce with the previous segment
+          continue;
+        }
+        emit();
+        pend_begin = bounds[k - 1];
+        pend_end = bounds[k];
+        pend_off = off;
+      }
+      emit();
+    }
+
+    if (i + 1 < trace_.samples.size()) {
+      event::Event next;
+      // Clamp for traces with non-increasing timestamps (the fixed-step
+      // engine tolerates them by skipping the interval; we must not
+      // schedule into the past).
+      next.time = std::max(sched.now(), trace_.samples[i].time);
+      next.type = kEvReportInterval;
+      next.target = self_;
+      next.i64 = static_cast<std::int64_t>(i + 1);
+      sched.schedule(next);
+    }
+  }
+
+  const char* name() const noexcept override { return "trace_report"; }
+
+ private:
+  const motion::Trace& trace_;
+  const SlotEvalConfig& config_;
+  event::ProcessId accountant_;
+  event::ProcessId self_ = event::kNoProcess;
+};
+
+}  // namespace
+
+SlotEvalResult evaluate_trace_events(const motion::Trace& trace,
+                                     const SlotEvalConfig& config,
+                                     EventEvalStats* stats,
+                                     event::TraceHook* extra_hook) {
+  if (trace.samples.size() < 2) return {};
+
+  event::Scheduler sched;
+  if (extra_hook) sched.add_hook(extra_hook);
+
+  FrameAccountant accountant;
+  const event::ProcessId acc_id = sched.add_process(&accountant);
+  TraceReportProcess reporter(trace, config, acc_id);
+  const event::ProcessId reporter_id = sched.add_process(&reporter);
+  reporter.set_self(reporter_id);
+
+  event::Event first;
+  first.time = trace.samples.front().time;
+  first.type = kEvReportInterval;
+  first.target = reporter_id;
+  first.i64 = 1;
+  sched.schedule(first);
+  sched.run();
+
+  if (stats) {
+    stats->dispatched = sched.dispatched();
+    stats->scheduled = sched.scheduled();
+  }
+  return accountant.finish();
+}
+
+}  // namespace cyclops::link

@@ -1,0 +1,43 @@
+// Discrete-event engine for the §5.4 trace-driven connectivity study.
+//
+// Instead of stepping every 1 ms slot, the engine dispatches one report
+// event per trace interval; the TP drift process locates the off/on slot
+// runs inside the interval by bisecting the (monotone) per-slot predicate
+// shared with the fixed-step engine, and emits link-state run events at
+// their exact microsecond start times.  The frame accountant then tallies
+// §5.4's 30-slot frames chunk-wise in O(total_slots / 30).
+//
+// The result is bit-identical to evaluate_trace_fixed_step — same
+// residual model, same float comparisons — with ~slot_count fewer
+// predicate evaluations per interval.
+#pragma once
+
+#include <cstdint>
+
+#include "event/trace_hook.hpp"
+#include "link/slot_eval.hpp"
+
+namespace cyclops::link {
+
+/// Event types of the trace evaluator (payload i64 = interval index for
+/// kReportInterval, run length in slots for k{On,Off}Run).
+enum TraceEvalEventType : event::EventType {
+  kEvReportInterval = 1,  ///< TP report at a trace sample; starts an interval.
+  kEvOnRun,               ///< A run of connected slots begins.
+  kEvOffRun,              ///< A run of disconnected slots begins.
+};
+
+struct EventEvalStats {
+  std::uint64_t dispatched = 0;
+  std::uint64_t scheduled = 0;
+};
+
+/// Evaluates one trace on the event engine.  `stats` (optional) receives
+/// the engine's event counts; `extra_hook` (optional) is attached to the
+/// scheduler for custom observability (counters, JSONL trace).
+SlotEvalResult evaluate_trace_events(const motion::Trace& trace,
+                                     const SlotEvalConfig& config,
+                                     EventEvalStats* stats = nullptr,
+                                     event::TraceHook* extra_hook = nullptr);
+
+}  // namespace cyclops::link

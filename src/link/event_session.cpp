@@ -1,0 +1,353 @@
+#include "link/event_session.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "core/exhaustive_aligner.hpp"
+
+namespace cyclops::link {
+namespace {
+
+/// State shared by the session processes (single-TX closed loop).
+struct SessionState {
+  sim::Prototype& proto;
+  core::TpController& controller;
+  const motion::MotionProfile& profile;
+  const SimOptions& options;
+  SessionLog* log;
+
+  LinkStateMachine link_state;
+  sim::Voltages applied{};
+  std::deque<core::PendingCommand> pending;
+  util::SimTimeUs duration = 0;
+
+  RunResult result;
+
+  // Window accumulators (mirrors run_link_simulation's bookkeeping).
+  util::SimTimeUs window_start = 0;
+  double window_power_sum = 0.0;
+  double window_min_power = std::numeric_limits<double>::infinity();
+  double window_min_power_all = std::numeric_limits<double>::infinity();
+  int window_power_ok_slots = 0;
+  int window_up_slots = 0;
+  int window_slots = 0;
+  double total_up = 0.0;
+  int total_slots = 0;
+
+  /// Applies every command whose settle completed by `now`, logging each
+  /// at its exact apply instant (not the sampling slot).
+  void drain_commands(util::SimTimeUs now) {
+    while (!pending.empty() && now >= pending.front().apply_time) {
+      applied = pending.front().voltages;
+      if (log) {
+        log->on_event(pending.front().apply_time,
+                      SessionEventKind::kRealignment);
+      }
+      pending.pop_front();
+    }
+  }
+};
+
+/// VRH-T process: captures a (noisy, jittered-cadence) report at its
+/// exact capture time, runs the TP controller, and schedules the command
+/// application at the controller's exact DAQ+settle completion time.
+class TrackerProcess final : public event::Process {
+ public:
+  TrackerProcess(SessionState& s, event::ProcessId plant) : s_(s), plant_(plant) {}
+
+  void handle(event::Scheduler& sched, const event::Event&) override {
+    const util::SimTimeUs now = sched.now();
+    const geom::Pose pose = s_.profile.pose_at(now);
+    const util::SimTimeUs lag =
+        util::us_from_ms(s_.proto.tracker.config().position_lag_ms);
+    const geom::Pose lagged = s_.profile.pose_at(now > lag ? now - lag : 0);
+    const tracking::PoseReport report =
+        s_.proto.tracker.report(now, pose, lagged);
+    if (!report.lost) {
+      if (auto cmd = s_.controller.on_report(report)) {
+        ++s_.result.realignments;
+        s_.pending.push_back(*cmd);
+        event::Event apply;
+        apply.time = std::max(now, cmd->apply_time);
+        apply.type = kEvApplyCommand;
+        apply.target = plant_;
+        sched.schedule(apply);
+      } else if (s_.log) {
+        s_.log->on_event(report.delivery_time, SessionEventKind::kTpFailure);
+      }
+    }
+    const util::SimTimeUs next = s_.proto.tracker.next_capture_time(now);
+    if (next < s_.duration) {
+      event::Event capture;
+      capture.time = next;
+      capture.type = kEvReportCapture;
+      capture.target = self_;
+      sched.schedule(capture);
+    }
+  }
+
+  void set_self(event::ProcessId self) { self_ = self; }
+  const char* name() const noexcept override { return "tracker"; }
+
+ private:
+  SessionState& s_;
+  event::ProcessId plant_;
+  event::ProcessId self_ = event::kNoProcess;
+};
+
+/// Plant process: owns the applied GM voltages; kEvApplyCommand events
+/// land here at their exact completion times.
+class PlantProcess final : public event::Process {
+ public:
+  explicit PlantProcess(SessionState& s) : s_(s) {}
+
+  void handle(event::Scheduler& sched, const event::Event&) override {
+    s_.drain_commands(sched.now());
+  }
+
+  const char* name() const noexcept override { return "plant"; }
+
+ private:
+  SessionState& s_;
+};
+
+/// Periodic SFP/link sampler: the only fixed-cadence process left — the
+/// optics must be integrated over the continuous rig motion, and the
+/// physics step is that quadrature.  Window flushing matches the legacy
+/// loop so WindowSamples stay comparable.
+class SamplerProcess final : public event::Process {
+ public:
+  explicit SamplerProcess(SessionState& s) : s_(s) {}
+
+  void handle(event::Scheduler& sched, const event::Event&) override {
+    const util::SimTimeUs now = sched.now();
+    // Ties between an apply event and a slot at the same microsecond must
+    // resolve apply-first (the legacy loop applies before sampling).
+    s_.drain_commands(now);
+    s_.proto.scene.set_rig_pose(s_.profile.pose_at(now));
+    const double power = s_.proto.scene.received_power_dbm(s_.applied);
+    const bool up = s_.link_state.step(now, power);
+    if (s_.options.on_slot) s_.options.on_slot(now, up, power);
+    if (s_.log) s_.log->on_slot(now, up, power);
+
+    const optics::SfpSpec& sfp = s_.proto.scene.config().sfp;
+    ++s_.window_slots;
+    ++s_.total_slots;
+    s_.window_min_power_all = std::min(s_.window_min_power_all, power);
+    if (power >= sfp.rx_sensitivity_dbm) ++s_.window_power_ok_slots;
+    if (up) {
+      ++s_.window_up_slots;
+      s_.total_up += 1.0;
+      s_.window_power_sum += power;
+      s_.window_min_power = std::min(s_.window_min_power, power);
+    }
+
+    const util::SimTimeUs step = s_.options.step;
+    if ((now + step) % s_.options.window < step || now + step >= s_.duration) {
+      flush_window(now);
+    }
+    if (now + step < s_.duration) {
+      event::Event slot;
+      slot.time = now + step;
+      slot.type = kEvSlotSample;
+      slot.target = self_;
+      sched.schedule(slot);
+    }
+  }
+
+  void set_self(event::ProcessId self) { self_ = self; }
+  const char* name() const noexcept override { return "sampler"; }
+
+ private:
+  void flush_window(util::SimTimeUs now) {
+    WindowSample sample;
+    sample.t_s = util::us_to_s(s_.window_start);
+    const motion::Speeds speeds = motion::measure_speeds(
+        s_.profile, s_.window_start + s_.options.window / 2);
+    sample.linear_speed_mps = speeds.linear_mps;
+    sample.angular_speed_rps = speeds.angular_rps;
+    sample.up_fraction =
+        s_.window_slots > 0
+            ? static_cast<double>(s_.window_up_slots) / s_.window_slots
+            : 0.0;
+    sample.throughput_gbps =
+        sample.up_fraction * s_.proto.scene.config().sfp.goodput_gbps;
+    sample.avg_power_dbm =
+        s_.window_up_slots > 0
+            ? s_.window_power_sum / s_.window_up_slots
+            : -std::numeric_limits<double>::infinity();
+    sample.min_power_dbm =
+        s_.window_up_slots > 0
+            ? s_.window_min_power
+            : -std::numeric_limits<double>::infinity();
+    sample.min_power_all_dbm =
+        s_.window_slots > 0
+            ? s_.window_min_power_all
+            : -std::numeric_limits<double>::infinity();
+    sample.power_ok_fraction =
+        s_.window_slots > 0
+            ? static_cast<double>(s_.window_power_ok_slots) / s_.window_slots
+            : 0.0;
+    s_.result.windows.push_back(sample);
+
+    s_.window_start = now + s_.options.step;
+    s_.window_power_sum = 0.0;
+    s_.window_min_power = std::numeric_limits<double>::infinity();
+    s_.window_min_power_all = std::numeric_limits<double>::infinity();
+    s_.window_power_ok_slots = 0;
+    s_.window_up_slots = 0;
+    s_.window_slots = 0;
+  }
+
+  SessionState& s_;
+  event::ProcessId self_ = event::kNoProcess;
+};
+
+}  // namespace
+
+RunResult run_link_session_events(sim::Prototype& proto,
+                                  core::TpController& controller,
+                                  const motion::MotionProfile& profile,
+                                  const SimOptions& options, SessionLog* log,
+                                  EventSessionStats* stats) {
+  const optics::SfpSpec& sfp = proto.scene.config().sfp;
+  SessionState s{proto,
+                 controller,
+                 profile,
+                 options,
+                 log,
+                 LinkStateMachine(sfp.rx_sensitivity_dbm,
+                                  util::us_from_s(sfp.link_up_delay_s)),
+                 {},
+                 {},
+                 {},
+                 {}};
+  s.duration = util::us_from_s(profile.duration_s());
+
+  proto.scene.set_rig_pose(profile.pose_at(0));
+  if (options.align_at_start) {
+    // §5.3 protocol: each run starts from an aligned link.
+    const core::PointingResult initial = controller.solver().solve(
+        proto.tracker.ideal_report(proto.scene.rig_pose()), s.applied);
+    s.applied = initial.voltages;
+    core::ExhaustiveAligner polish;
+    s.applied = polish.align(proto.scene, s.applied).voltages;
+    s.link_state.force_up();
+  }
+  proto.tracker.reset_schedule();  // simulation time restarts at 0
+
+  event::Scheduler sched;
+  event::EventCounter counter;
+  sched.add_hook(&counter);
+
+  PlantProcess plant(s);
+  const event::ProcessId plant_id = sched.add_process(&plant);
+  TrackerProcess tracker(s, plant_id);
+  const event::ProcessId tracker_id = sched.add_process(&tracker);
+  tracker.set_self(tracker_id);
+  SamplerProcess sampler(s);
+  const event::ProcessId sampler_id = sched.add_process(&sampler);
+  sampler.set_self(sampler_id);
+
+  // Seed the chains.  The tracker's first capture is scheduled before the
+  // first slot so an equal-time tie dispatches report-before-sample, as
+  // the legacy loop orders them.
+  const util::SimTimeUs first_capture = proto.tracker.next_capture_time(0);
+  if (first_capture < s.duration) {
+    event::Event capture;
+    capture.time = first_capture;
+    capture.type = kEvReportCapture;
+    capture.target = tracker_id;
+    sched.schedule(capture);
+  }
+  if (s.duration > 0) {
+    event::Event slot;
+    slot.time = 0;
+    slot.type = kEvSlotSample;
+    slot.target = sampler_id;
+    sched.schedule(slot);
+  }
+  sched.run();
+
+  s.result.total_up_fraction =
+      s.total_slots > 0 ? s.total_up / s.total_slots : 0.0;
+  s.result.tp_failures = controller.failures();
+  s.result.avg_pointing_iterations = controller.avg_pointing_iterations();
+  if (log) log->finish(s.result);
+  if (stats) {
+    stats->events = sched.dispatched();
+    stats->scheduled = sched.scheduled();
+  }
+  return s.result;
+}
+
+HandoverProcess::HandoverProcess(std::size_t num_tx, HandoverConfig config,
+                                 event::Scheduler& sched, SessionLog* log)
+    : config_(config), num_tx_(num_tx), sched_(sched), log_(log) {
+  self_ = sched_.add_process(this);
+}
+
+int HandoverProcess::on_powers(std::span<const double> powers_dbm) {
+  assert(powers_dbm.size() == num_tx_);
+  if (num_tx_ == 0) return -1;
+  const util::SimTimeUs now = sched_.now();
+
+  if (switch_pending_) {
+    const double active_power = powers_dbm[static_cast<std::size_t>(active_)];
+    if (config_.cancel_on_reacquire && switch_drop_triggered_ &&
+        active_power >= config_.drop_threshold_dbm &&
+        sched_.cancel(switch_timer_)) {
+      switch_pending_ = false;
+      ++cancelled_;
+      if (log_) {
+        log_->on_event(now, SessionEventKind::kReacquisition, active_power);
+      }
+      return active_;
+    }
+    return -1;
+  }
+
+  const auto best_it =
+      std::max_element(powers_dbm.begin(), powers_dbm.end());
+  const int best = static_cast<int>(best_it - powers_dbm.begin());
+  const double active_power = powers_dbm[static_cast<std::size_t>(active_)];
+  const bool active_lost = active_power < config_.drop_threshold_dbm;
+  const bool better = *best_it > active_power + config_.hysteresis_db;
+
+  if (best != active_ && (active_lost || better)) {
+    ++started_;
+    if (config_.switch_delay_s <= 0.0) {
+      // Instant switch: matches the legacy manager, which is immediately
+      // out of the switching state when the delay is zero.
+      active_ = best;
+      if (log_) log_->on_event(now, SessionEventKind::kHandover, *best_it);
+      return active_;
+    }
+    switch_pending_ = true;
+    switch_drop_triggered_ = active_lost;
+    pending_target_ = best;
+    event::Event done;
+    done.type = kEvSwitchDone;
+    done.target = self_;
+    done.i64 = best;
+    done.f64 = *best_it;
+    switch_timer_ =
+        sched_.schedule_after(util::us_from_s(config_.switch_delay_s), done);
+    return -1;
+  }
+  return active_;
+}
+
+void HandoverProcess::handle(event::Scheduler& sched, const event::Event& ev) {
+  assert(ev.type == kEvSwitchDone);
+  active_ = pending_target_;
+  switch_pending_ = false;
+  if (log_) {
+    log_->on_event(sched.now(), SessionEventKind::kHandover, ev.f64);
+  }
+}
+
+}  // namespace cyclops::link

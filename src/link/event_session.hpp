@@ -1,0 +1,95 @@
+// The closed-loop link control plane on the discrete-event engine.
+//
+// run_link_session_events replaces run_link_simulation's fixed-step loop
+// with processes: the VRH-T schedules its own (jittered) capture events
+// at exact times, TpController commands apply at their exact DAQ+settle
+// completion instants, and the SFP sampler rides periodic slot events.
+// HandoverProcess gives multi-TX selection a real cancellable switch
+// timer — including handovers cancelled by the old TX reacquiring.
+//
+// The fixed-step run_link_simulation is kept as the §5.3 oracle; the
+// event session agrees with it closely (asserted in tests) but not
+// bit-for-bit, because reports are no longer quantized to the physics
+// step.
+#pragma once
+
+#include <span>
+
+#include "core/tp_controller.hpp"
+#include "event/scheduler.hpp"
+#include "link/fso_link.hpp"
+#include "link/handover.hpp"
+#include "link/session_log.hpp"
+#include "motion/profile.hpp"
+#include "sim/prototype.hpp"
+
+namespace cyclops::link {
+
+/// Event types of the session processes (payload: i64 = chain index for
+/// apply/switch events).
+enum SessionEventType : event::EventType {
+  kEvReportCapture = 1,  ///< VRH-T captures (and delivers) a pose report.
+  kEvApplyCommand,       ///< A DAQ voltage command finishes settling.
+  kEvSlotSample,         ///< Periodic SFP/link sampling slot.
+  kEvSwitchDone,         ///< Handover switch delay elapsed.
+};
+
+struct EventSessionStats {
+  std::uint64_t events = 0;     ///< Dispatched by the scheduler.
+  std::uint64_t scheduled = 0;
+};
+
+/// Event-driven counterpart of run_link_simulation.  `log` (optional)
+/// receives per-slot transitions plus exact-time kRealignment events;
+/// `stats` (optional) receives the engine's event counts.
+RunResult run_link_session_events(sim::Prototype& proto,
+                                  core::TpController& controller,
+                                  const motion::MotionProfile& profile,
+                                  const SimOptions& options = {},
+                                  SessionLog* log = nullptr,
+                                  EventSessionStats* stats = nullptr);
+
+/// Event-driven handover control.  Decision rule identical to
+/// HandoverManager::step (hysteresis + drop threshold, first-best wins
+/// ties), but the switch completion is a cancellable Timer: with
+/// HandoverConfig::cancel_on_reacquire set, a drop-triggered switch is
+/// abandoned if the old TX recovers before the timer fires.  The serving
+/// TX commits only when the timer dispatches, at its exact time.
+class HandoverProcess final : public event::Process {
+ public:
+  /// Registers itself with `sched`; `log` (optional) receives kHandover /
+  /// kReacquisition events at their exact timestamps.
+  HandoverProcess(std::size_t num_tx, HandoverConfig config,
+                  event::Scheduler& sched, SessionLog* log = nullptr);
+
+  /// Feeds the per-TX achievable powers at sched.now(); returns the
+  /// serving TX index, or -1 while a switch is in progress.
+  int on_powers(std::span<const double> powers_dbm);
+
+  void handle(event::Scheduler& sched, const event::Event& ev) override;
+  const char* name() const noexcept override { return "handover"; }
+
+  int active() const noexcept { return active_; }
+  bool switching() const noexcept { return switch_pending_; }
+  /// Switches that took (or will take) effect: started minus cancelled —
+  /// matches HandoverManager::switches() when nothing is cancelled.
+  int switches() const noexcept { return started_ - cancelled_; }
+  int started() const noexcept { return started_; }
+  int cancelled_switches() const noexcept { return cancelled_; }
+
+ private:
+  HandoverConfig config_;
+  std::size_t num_tx_;
+  event::Scheduler& sched_;
+  SessionLog* log_;
+  event::ProcessId self_ = event::kNoProcess;
+  int active_ = 0;
+  bool switch_pending_ = false;
+  bool switch_drop_triggered_ = false;
+  int pending_target_ = 0;
+  event::Timer switch_timer_;
+  int started_ = 0;
+  int cancelled_ = 0;
+};
+
+}  // namespace cyclops::link

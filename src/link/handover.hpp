@@ -20,6 +20,12 @@ struct HandoverConfig {
   double drop_threshold_dbm = -25.0;
   /// Time to re-point and re-acquire on the new TX.
   double switch_delay_s = 0.2;
+  /// Event-driven extension (honored by HandoverProcess only): when a
+  /// drop-triggered switch is pending and the old TX recovers above
+  /// `drop_threshold_dbm` before the switch-done timer fires, cancel the
+  /// handover and keep serving from the old TX.  The legacy step() path
+  /// commits switches instantly and cannot cancel.
+  bool cancel_on_reacquire = false;
 };
 
 class HandoverManager {

@@ -1,6 +1,11 @@
 #include "link/multi_tx.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "event/scheduler.hpp"
+#include "link/event_session.hpp"
 
 namespace cyclops::link {
 
@@ -15,46 +20,71 @@ TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
   return TxChain(std::move(proto), std::move(calibration));
 }
 
-MultiTxResult run_multi_tx_session(
-    std::vector<TxChain>& chains, const motion::MotionProfile& profile,
-    const MultiTxConfig& config,
-    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion) {
-  MultiTxResult result;
-  if (chains.empty()) return result;
+namespace {
 
-  HandoverManager manager(chains.size(), config.handover);
-  const double sensitivity =
-      chains.front().proto.scene.config().sfp.rx_sensitivity_dbm;
-  const auto duration = util::us_from_s(profile.duration_s());
-  const auto report_period = util::us_from_ms(config.report_period_ms);
-  const auto lag = util::us_from_ms(
-      chains.front().proto.tracker.config().position_lag_ms);
-
-  // A TP controller per chain so latency/prediction semantics match the
-  // single-TX simulator.
-  std::vector<core::TpController> controllers;
-  controllers.reserve(chains.size());
-  for (auto& chain : chains) {
-    controllers.emplace_back(chain.solver, config.tp);
-  }
-  std::vector<std::optional<core::PendingCommand>> pending(chains.size());
-
-  std::vector<int> usable(chains.size(), 0);
-  int slots = 0, served = 0;
+/// Shared mutable state of the multi-TX session processes.
+struct MultiTxState {
+  std::vector<TxChain>& chains;
+  std::vector<core::TpController>& controllers;
+  const MultiTxConfig& config;
+  const motion::MotionProfile& profile;
+  const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion;
+  HandoverProcess& handover;
+  double sensitivity = 0.0;
+  util::SimTimeUs duration = 0;
+  util::SimTimeUs lag = 0;
   util::SimTimeUs next_report = 0;
-  std::vector<double> powers(chains.size());
+  std::vector<std::optional<core::PendingCommand>> pending;
+  std::vector<event::Timer> apply_timers;
+  std::vector<int> usable;
+  std::vector<double> powers;
+  int slots = 0;
+  int served = 0;
+};
 
-  for (util::SimTimeUs now = 0; now < duration; now += config.step) {
-    const geom::Pose pose = profile.pose_at(now);
-    const geom::Pose lagged = profile.pose_at(now > lag ? now - lag : 0);
-    const bool do_report = now >= next_report;
-    if (do_report) next_report = now + report_period;
+/// Applies a chain's voltage command at its exact DAQ+settle completion
+/// instant (event payload: i64 = chain index).
+class MultiTxApplyProcess final : public event::Process {
+ public:
+  explicit MultiTxApplyProcess(MultiTxState& s) : s_(s) {}
 
-    for (std::size_t i = 0; i < chains.size(); ++i) {
-      TxChain& chain = chains[i];
+  void handle(event::Scheduler&, const event::Event& ev) override {
+    const auto i = static_cast<std::size_t>(ev.i64);
+    assert(i < s_.chains.size() && s_.pending[i]);
+    s_.chains[i].voltages = s_.pending[i]->voltages;
+    s_.pending[i].reset();
+    s_.apply_timers[i] = event::Timer();
+  }
+  const char* name() const noexcept override { return "multi_tx_apply"; }
+
+ private:
+  MultiTxState& s_;
+};
+
+/// Periodic sampling slot: scene/occlusion update, report capture, power
+/// sampling, handover decision, service accounting.  The legacy loop body
+/// minus the pending-command poll, which the apply events now own.
+class MultiTxSlotProcess final : public event::Process {
+ public:
+  MultiTxSlotProcess(MultiTxState& s, event::ProcessId apply_id)
+      : s_(s), apply_id_(apply_id) {}
+  void set_self(event::ProcessId id) noexcept { self_ = id; }
+
+  void handle(event::Scheduler& sched, const event::Event& ev) override {
+    const util::SimTimeUs now = ev.time;
+    const geom::Pose pose = s_.profile.pose_at(now);
+    const geom::Pose lagged =
+        s_.profile.pose_at(now > s_.lag ? now - s_.lag : 0);
+    const bool do_report = now >= s_.next_report;
+    if (do_report) {
+      s_.next_report = now + util::us_from_ms(s_.config.report_period_ms);
+    }
+
+    for (std::size_t i = 0; i < s_.chains.size(); ++i) {
+      TxChain& chain = s_.chains[i];
       chain.proto.scene.set_rig_pose(pose);
       chain.proto.scene.clear_occluders();
-      if (occlusion && occlusion(now, i)) {
+      if (s_.occlusion && s_.occlusion(now, i)) {
         const geom::Vec3 mid =
             (chain.proto.scene.tx().mount().translation() +
              pose.translation()) *
@@ -65,32 +95,113 @@ MultiTxResult run_multi_tx_session(
         tracking::PoseReport report =
             chain.proto.tracker.report(now, pose, lagged);
         if (!report.lost) {
-          if (auto cmd = controllers[i].on_report(report)) pending[i] = cmd;
+          if (auto cmd = s_.controllers[i].on_report(report)) {
+            // A newer command supersedes an un-applied older one (the
+            // legacy pending-slot overwrite): cancel its timer.
+            sched.cancel(s_.apply_timers[i]);
+            s_.pending[i].reset();
+            if (cmd->apply_time <= now) {
+              chain.voltages = cmd->voltages;
+            } else {
+              s_.pending[i] = *cmd;
+              event::Event apply;
+              apply.time = cmd->apply_time;
+              apply.type = kEvApplyCommand;
+              apply.target = apply_id_;
+              apply.i64 = static_cast<std::int64_t>(i);
+              s_.apply_timers[i] = sched.schedule(apply);
+            }
+          }
         }
       }
-      if (pending[i] && now >= pending[i]->apply_time) {
-        chain.voltages = pending[i]->voltages;
-        pending[i].reset();
-      }
-      powers[i] = chain.proto.scene.received_power_dbm(chain.voltages);
-      if (powers[i] >= sensitivity) ++usable[i];
+      s_.powers[i] = chain.proto.scene.received_power_dbm(chain.voltages);
+      if (s_.powers[i] >= s_.sensitivity) ++s_.usable[i];
     }
 
-    const int serving = manager.step(now, powers);
-    ++slots;
+    const int serving = s_.handover.on_powers(s_.powers);
+    ++s_.slots;
     if (serving >= 0 &&
-        powers[static_cast<std::size_t>(serving)] >= sensitivity) {
-      ++served;
+        s_.powers[static_cast<std::size_t>(serving)] >= s_.sensitivity) {
+      ++s_.served;
+    }
+
+    const util::SimTimeUs next = now + s_.config.step;
+    if (next < s_.duration) {
+      event::Event slot;
+      slot.time = next;
+      slot.type = kEvSlotSample;
+      slot.target = self_;
+      sched.schedule(slot);
     }
   }
+  const char* name() const noexcept override { return "multi_tx_slot"; }
+
+ private:
+  MultiTxState& s_;
+  event::ProcessId apply_id_;
+  event::ProcessId self_ = event::kNoProcess;
+};
+
+}  // namespace
+
+MultiTxResult run_multi_tx_session(
+    std::vector<TxChain>& chains, const motion::MotionProfile& profile,
+    const MultiTxConfig& config,
+    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
+    SessionLog* log) {
+  MultiTxResult result;
+  if (chains.empty()) return result;
+
+  // A TP controller per chain so latency/prediction semantics match the
+  // single-TX simulator.
+  std::vector<core::TpController> controllers;
+  controllers.reserve(chains.size());
+  for (auto& chain : chains) {
+    controllers.emplace_back(chain.solver, config.tp);
+  }
+
+  event::Scheduler sched;
+  // Registered first so an equal-time switch-done timer (scheduled before
+  // any same-time slot event was) commits the new TX before that slot
+  // samples it — matching the legacy `now < switch_done_` window.
+  HandoverProcess handover(chains.size(), config.handover, sched, log);
+
+  MultiTxState s{chains,    controllers, config, profile, occlusion, handover,
+                 0.0,       0,           0,      0,       {},        {},
+                 {},        {},          0,      0};
+  s.sensitivity = chains.front().proto.scene.config().sfp.rx_sensitivity_dbm;
+  s.duration = util::us_from_s(profile.duration_s());
+  s.lag = util::us_from_ms(
+      chains.front().proto.tracker.config().position_lag_ms);
+  s.pending.resize(chains.size());
+  s.apply_timers.resize(chains.size());
+  s.usable.assign(chains.size(), 0);
+  s.powers.assign(chains.size(), 0.0);
+
+  MultiTxApplyProcess apply(s);
+  const event::ProcessId apply_id = sched.add_process(&apply);
+  MultiTxSlotProcess slot(s, apply_id);
+  const event::ProcessId slot_id = sched.add_process(&slot);
+  slot.set_self(slot_id);
+
+  if (s.duration > 0) {
+    event::Event first;
+    first.time = 0;
+    first.type = kEvSlotSample;
+    first.target = slot_id;
+    sched.schedule(first);
+  }
+  sched.run();
 
   result.served_fraction =
-      slots > 0 ? static_cast<double>(served) / slots : 0.0;
-  result.switches = manager.switches();
+      s.slots > 0 ? static_cast<double>(s.served) / s.slots : 0.0;
+  result.switches = handover.switches();
+  result.cancelled_switches = handover.cancelled_switches();
+  result.events = sched.dispatched();
   result.per_tx_usable_fraction.reserve(chains.size());
   for (std::size_t i = 0; i < chains.size(); ++i) {
     const double fraction =
-        slots > 0 ? static_cast<double>(usable[i]) / slots : 0.0;
+        s.slots > 0 ? static_cast<double>(s.usable[i]) / s.slots : 0.0;
     result.per_tx_usable_fraction.push_back(fraction);
     result.best_single_tx_fraction =
         std::max(result.best_single_tx_fraction, fraction);

@@ -4,6 +4,7 @@
 // manual version).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/calibration.hpp"
 #include "core/tp_controller.hpp"
 #include "link/handover.hpp"
+#include "link/session_log.hpp"
 #include "motion/profile.hpp"
 
 namespace cyclops::link {
@@ -40,6 +42,10 @@ struct MultiTxResult {
   double served_fraction = 0.0;        ///< Slots with a usable serving TX.
   double best_single_tx_fraction = 0.0;  ///< Best TX alone (baseline).
   int switches = 0;
+  /// Switches started but abandoned because the old TX reacquired before
+  /// the switch delay elapsed (HandoverConfig::cancel_on_reacquire).
+  int cancelled_switches = 0;
+  std::uint64_t events = 0;  ///< Events dispatched by the session engine.
   std::vector<double> per_tx_usable_fraction;
 };
 
@@ -47,12 +53,17 @@ struct MultiTxResult {
 TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
                       const sim::PrototypeConfig& base_config);
 
-/// Runs a multi-TX session over `profile`.  `occlusion(t, tx_index)` says
-/// whether the given TX's path is blocked at time t (the scene occluders
-/// are managed internally from it).
+/// Runs a multi-TX session over `profile` on the discrete-event engine:
+/// TP commands apply at their exact DAQ+settle instants (a newer command
+/// cancels an un-applied older one) and handovers complete on cancellable
+/// switch timers.  `occlusion(t, tx_index)` says whether the given TX's
+/// path is blocked at time t (the scene occluders are managed internally
+/// from it).  `log` (optional) receives kHandover / kReacquisition events
+/// at their exact timestamps.
 MultiTxResult run_multi_tx_session(
     std::vector<TxChain>& chains, const motion::MotionProfile& profile,
     const MultiTxConfig& config,
-    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion);
+    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
+    SessionLog* log = nullptr);
 
 }  // namespace cyclops::link

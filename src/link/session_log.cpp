@@ -16,8 +16,18 @@ const char* to_string(SessionEventKind kind) noexcept {
       return "realignment";
     case SessionEventKind::kTpFailure:
       return "tp_failure";
+    case SessionEventKind::kHandover:
+      return "handover";
+    case SessionEventKind::kReacquisition:
+      return "reacquisition";
   }
   return "unknown";
+}
+
+void SessionLog::on_event(util::SimTimeUs now, SessionEventKind kind,
+                          double power_dbm) {
+  events_.push_back({now, kind, power_dbm});
+  last_time_ = std::max(last_time_, now);
 }
 
 void SessionLog::on_slot(util::SimTimeUs now, bool up, double power_dbm) {

@@ -17,6 +17,8 @@ enum class SessionEventKind {
   kLinkDown,
   kRealignment,
   kTpFailure,
+  kHandover,       ///< Switch to another TX completed.
+  kReacquisition,  ///< Pending switch cancelled: the old TX came back.
 };
 
 struct SessionEvent {
@@ -32,6 +34,13 @@ class SessionLog {
  public:
   /// Feeds one slot (wire into SimOptions::on_slot).
   void on_slot(util::SimTimeUs now, bool up, double power_dbm);
+
+  /// Records a discrete event at its *exact* (event-engine) timestamp —
+  /// realignments, handovers, and reacquisitions land between slot
+  /// boundaries, and the event-driven control plane reports them here
+  /// un-quantized.
+  void on_event(util::SimTimeUs now, SessionEventKind kind,
+                double power_dbm = 0.0);
 
   /// Attach the run result (windows etc.) once the simulation finishes.
   void finish(const RunResult& result) { windows_ = result.windows; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "link/event_eval.hpp"
+
 namespace cyclops::link {
 
 double SlotEvalResult::scattered_fraction(int threshold) const {
@@ -18,12 +20,18 @@ double SlotEvalResult::scattered_fraction(int threshold) const {
 
 SlotEvalResult evaluate_trace(const motion::Trace& trace,
                               const SlotEvalConfig& config) {
+  return config.engine == EvalEngine::kEvent
+             ? evaluate_trace_events(trace, config)
+             : evaluate_trace_fixed_step(trace, config);
+}
+
+SlotEvalResult evaluate_trace_fixed_step(const motion::Trace& trace,
+                                         const SlotEvalConfig& config) {
   SlotEvalResult result;
   if (trace.samples.size() < 2) return result;
 
   // Off-slots are only ever consumed per 30-slot frame, so keep running
   // frame counters instead of materializing a slot bitmap.
-  constexpr int kFrameSlots = 30;
   int slots_in_frame = 0;
   int off_in_frame = 0;
   const auto flush_frame = [&result, &slots_in_frame, &off_in_frame] {
@@ -38,33 +46,21 @@ SlotEvalResult evaluate_trace(const motion::Trace& trace,
   for (std::size_t i = 1; i < trace.samples.size(); ++i) {
     const auto& prev = trace.samples[i - 1];
     const auto& cur = trace.samples[i];
-    const double gap_ms = util::us_to_ms(cur.time - prev.time);
-    if (gap_ms <= 0.0) continue;
+    detail::IntervalModel model;
+    model.gap_ms = util::us_to_ms(cur.time - prev.time);
+    if (model.gap_ms <= 0.0) continue;
+    model.lat_rate =
+        geom::translation_distance(prev.pose, cur.pose) / model.gap_ms;
+    model.ang_rate =
+        geom::rotation_distance(prev.pose, cur.pose) / model.gap_ms;
+    model.config = &config;
 
-    const double lat_rate =
-        geom::translation_distance(prev.pose, cur.pose) / gap_ms;  // m/ms
-    const double ang_rate =
-        geom::rotation_distance(prev.pose, cur.pose) / gap_ms;  // rad/ms
-
-    const int slots = std::max(1, static_cast<int>(gap_ms / config.slot_ms));
+    const int slots =
+        std::max(1, static_cast<int>(model.gap_ms / config.slot_ms));
     for (int s = 0; s < slots; ++s) {
-      const double t_ms = (s + 1) * config.slot_ms;
-      double lat_err, ang_err;
-      if (t_ms <= config.tp_latency_ms) {
-        // Realignment for the report at the interval start hasn't landed:
-        // drift continues on top of the previous interval's budget.  Use a
-        // conservative carry-over of one full interval of drift.
-        lat_err = config.residual_lateral_m + lat_rate * (gap_ms + t_ms);
-        ang_err = config.residual_angular_rad + ang_rate * (gap_ms + t_ms);
-      } else {
-        lat_err = config.residual_lateral_m + lat_rate * t_ms;
-        ang_err = config.residual_angular_rad + ang_rate * t_ms;
-      }
-      const bool off = lat_err > config.lateral_tolerance_m ||
-                       ang_err > config.angular_tolerance_rad;
       ++result.total_slots;
-      if (off) ++off_in_frame;
-      if (++slots_in_frame == kFrameSlots) flush_frame();
+      if (model.off_at(s)) ++off_in_frame;
+      if (++slots_in_frame == detail::kFrameSlots) flush_frame();
     }
   }
   if (slots_in_frame > 0) flush_frame();
@@ -74,24 +70,39 @@ SlotEvalResult evaluate_trace(const motion::Trace& trace,
 DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
                                    const SlotEvalConfig& config,
                                    util::ThreadPool& pool) {
-  // Fan the per-trace evaluations out over the pool (each writes only its
-  // own slot), then merge in trace order so counters and the pooled frame
-  // histogram match the serial path exactly.
-  const std::vector<SlotEvalResult> per_trace =
-      util::parallel_map<SlotEvalResult>(
-          traces.size(),
-          [&](std::size_t i) { return evaluate_trace(traces[i], config); },
-          pool);
+  // Fan the per-trace evaluations out over the pool (one engine per
+  // trace, each writing only its own slot), then merge in trace order so
+  // counters and the pooled frame histogram match the serial path exactly.
+  struct PerTrace {
+    SlotEvalResult result;
+    std::uint64_t events = 0;
+  };
+  const std::vector<PerTrace> per_trace = util::parallel_map<PerTrace>(
+      traces.size(),
+      [&](std::size_t i) {
+        PerTrace out;
+        if (config.engine == EvalEngine::kEvent) {
+          EventEvalStats stats;
+          out.result = evaluate_trace_events(traces[i], config, &stats);
+          out.events = stats.dispatched;
+        } else {
+          out.result = evaluate_trace_fixed_step(traces[i], config);
+        }
+        return out;
+      },
+      pool);
 
   DatasetEvalResult result;
   result.per_trace_off_fraction.reserve(traces.size());
-  for (const SlotEvalResult& r : per_trace) {
+  for (const PerTrace& p : per_trace) {
+    const SlotEvalResult& r = p.result;
     result.per_trace_off_fraction.push_back(r.off_fraction());
     result.pooled.total_slots += r.total_slots;
     result.pooled.off_slots += r.off_slots;
     result.pooled.off_per_dirty_frame.insert(
         result.pooled.off_per_dirty_frame.end(), r.off_per_dirty_frame.begin(),
         r.off_per_dirty_frame.end());
+    result.events += p.events;
   }
   return result;
 }

@@ -4,14 +4,30 @@
 // error; between reports the terminal drifts at the report-to-report rate;
 // a slot is disconnected when accumulated lateral or angular error exceeds
 // the link's tolerance.
+//
+// Two engines produce the identical result:
+//  * kEvent (default): the discrete-event engine in event_eval.cpp — one
+//    report event per trace interval, off/on runs located by monotone
+//    bisection of the shared per-slot predicate, frame accounting in
+//    O(slots / 30).
+//  * kFixedStep: the legacy per-slot loop, kept as a cross-check oracle.
+// Both call detail::IntervalModel::off_at for the per-slot decision, so
+// they agree bit-for-bit (enforced in tests/event_test.cpp and in
+// bench/fig16_trace_cdf).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "motion/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cyclops::link {
+
+enum class EvalEngine {
+  kEvent,      ///< Discrete-event engine (exact-match, less per-slot work).
+  kFixedStep,  ///< Legacy 1 ms-loop engine (cross-check oracle).
+};
 
 struct SlotEvalConfig {
   double slot_ms = 1.0;
@@ -23,6 +39,7 @@ struct SlotEvalConfig {
   /// Link movement tolerances (25G design: 6 mm lateral, 8.73 mrad).
   double lateral_tolerance_m = 6e-3;
   double angular_tolerance_rad = 8.73e-3;
+  EvalEngine engine = EvalEngine::kEvent;
 };
 
 struct SlotEvalResult {
@@ -39,18 +56,70 @@ struct SlotEvalResult {
   double scattered_fraction(int threshold = 10) const;
 };
 
-/// Evaluates one trace.
+namespace detail {
+
+/// The §5.4 drift model for one report interval, shared verbatim by both
+/// engines — a single definition of the per-slot float arithmetic is what
+/// makes the engines bit-identical.
+struct IntervalModel {
+  double gap_ms = 0.0;
+  double lat_rate = 0.0;  ///< m/ms (>= 0: it is a distance over a gap).
+  double ang_rate = 0.0;  ///< rad/ms (>= 0).
+  const SlotEvalConfig* config = nullptr;
+
+  /// True while slot s (0-based within the interval) still rides the
+  /// carry-over branch (realignment for this interval's report not yet
+  /// landed).  Monotone non-increasing in s.
+  bool in_carry(int s) const {
+    return (s + 1) * config->slot_ms <= config->tp_latency_ms;
+  }
+
+  /// The legacy per-slot decision, byte-for-byte.  Within each branch the
+  /// error is a monotone non-decreasing function of s (rates and times are
+  /// non-negative and IEEE rounding is monotone), so "off" is a monotone
+  /// predicate per region — which is what lets the event engine bisect for
+  /// the first off slot instead of scanning.
+  bool off_at(int s) const {
+    const double t_ms = (s + 1) * config->slot_ms;
+    double lat_err, ang_err;
+    if (t_ms <= config->tp_latency_ms) {
+      // Realignment for the report at the interval start hasn't landed:
+      // drift continues on top of the previous interval's budget.  Use a
+      // conservative carry-over of one full interval of drift.
+      lat_err = config->residual_lateral_m + lat_rate * (gap_ms + t_ms);
+      ang_err = config->residual_angular_rad + ang_rate * (gap_ms + t_ms);
+    } else {
+      lat_err = config->residual_lateral_m + lat_rate * t_ms;
+      ang_err = config->residual_angular_rad + ang_rate * t_ms;
+    }
+    return lat_err > config->lateral_tolerance_m ||
+           ang_err > config->angular_tolerance_rad;
+  }
+};
+
+/// Number of 1 ms slots in a 30-slot video frame (§5.4's clustering unit).
+inline constexpr int kFrameSlots = 30;
+
+}  // namespace detail
+
+/// Evaluates one trace with the engine selected in `config`.
 SlotEvalResult evaluate_trace(const motion::Trace& trace,
                               const SlotEvalConfig& config);
 
+/// The legacy fixed-step engine, regardless of config.engine.
+SlotEvalResult evaluate_trace_fixed_step(const motion::Trace& trace,
+                                         const SlotEvalConfig& config);
+
 /// Evaluates a dataset; returns per-trace off-fractions (for the Fig 16
 /// CDF) plus the pooled result.  Traces are evaluated in parallel over
-/// `pool` and merged in trace order, so the result is bit-identical to the
-/// serial path at any thread count (pass util::ThreadPool::serial() to
-/// force inline execution).
+/// `pool` — one event engine per trace — and merged in trace order, so the
+/// result is bit-identical to the serial path at any thread count (pass
+/// util::ThreadPool::serial() to force inline execution).
 struct DatasetEvalResult {
   std::vector<double> per_trace_off_fraction;
   SlotEvalResult pooled;
+  /// Total events dispatched (0 when config.engine == kFixedStep).
+  std::uint64_t events = 0;
 };
 DatasetEvalResult evaluate_dataset(
     const std::vector<motion::Trace>& traces, const SlotEvalConfig& config,

@@ -1,0 +1,26 @@
+#include "util/bench_io.hpp"
+
+#include <cstdio>
+
+namespace cyclops::util {
+
+void write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"name\": \"%s\"", name.c_str());
+  for (const auto& [key, value] : fields) {
+    std::fprintf(f, ",\n  \"%s\": ", key.c_str());
+    std::fprintf(f, kJsonNumberFormat, value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace cyclops::util

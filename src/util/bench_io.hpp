@@ -1,0 +1,42 @@
+// Timing + JSON reporting shared by the bench/ harness binaries and the
+// event engine's trace hooks (promoted from bench/bench_common so src/
+// code can use it without depending on the harness).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cyclops::util {
+
+/// printf format for JSON numbers: round-trips every double exactly.
+/// Used by write_bench_json and event::JsonlTraceWriter so the two JSON
+/// paths stay diffable against each other.
+inline constexpr const char* kJsonNumberFormat = "%.17g";
+
+/// Wall-clock stopwatch for serial-vs-parallel and legacy-vs-event
+/// comparisons.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes `BENCH_<name>.json` in the working directory with the given
+/// numeric fields (flat object; values printed with kJsonNumberFormat so
+/// they round-trip).  Establishes the perf trajectory across PRs — run
+/// the bench, diff the JSON.
+void write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& fields);
+
+}  // namespace cyclops::util

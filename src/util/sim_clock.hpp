@@ -3,6 +3,7 @@
 // stepping millions of 1 ms slots.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 namespace cyclops::util {
@@ -10,12 +11,16 @@ namespace cyclops::util {
 /// Simulation timestamp / duration in microseconds.
 using SimTimeUs = std::int64_t;
 
-constexpr SimTimeUs us_from_ms(double ms) noexcept {
-  return static_cast<SimTimeUs>(ms * 1e3);
+/// Round-to-nearest, half away from zero (llround semantics, but
+/// constexpr).  Truncation here used to break duration identities:
+/// us_from_ms(2.3) was 2299, so three 0.1 ms timers and one 0.3 ms timer
+/// could disagree by a microsecond.
+constexpr SimTimeUs us_round(double us) noexcept {
+  return static_cast<SimTimeUs>(us < 0.0 ? us - 0.5 : us + 0.5);
 }
-constexpr SimTimeUs us_from_s(double s) noexcept {
-  return static_cast<SimTimeUs>(s * 1e6);
-}
+
+constexpr SimTimeUs us_from_ms(double ms) noexcept { return us_round(ms * 1e3); }
+constexpr SimTimeUs us_from_s(double s) noexcept { return us_round(s * 1e6); }
 constexpr double us_to_s(SimTimeUs t) noexcept { return static_cast<double>(t) * 1e-6; }
 constexpr double us_to_ms(SimTimeUs t) noexcept { return static_cast<double>(t) * 1e-3; }
 
@@ -23,7 +28,10 @@ constexpr double us_to_ms(SimTimeUs t) noexcept { return static_cast<double>(t) 
 class SimClock {
  public:
   SimTimeUs now() const noexcept { return now_; }
-  void advance(SimTimeUs dt) noexcept { now_ += dt; }
+  void advance(SimTimeUs dt) noexcept {
+    assert(dt >= 0 && "SimClock cannot run backwards");
+    now_ += dt;
+  }
   void reset() noexcept { now_ = 0; }
 
  private:

@@ -267,5 +267,19 @@ TEST(SimClockTest, Conversions) {
   EXPECT_DOUBLE_EQ(us_to_ms(1500), 1.5);
 }
 
+TEST(SimClockTest, ConversionsRoundToNearest) {
+  // 2.3 ms is 2299.999... in binary; truncation used to yield 2299 us.
+  EXPECT_EQ(us_from_ms(2.3), 2300);
+  EXPECT_EQ(us_from_ms(0.1) * 3, us_from_ms(0.3));
+  EXPECT_EQ(us_from_s(0.0123456), 12346);  // half-up at the .6 boundary
+  EXPECT_EQ(us_from_ms(0.0004), 0);
+  EXPECT_EQ(us_from_ms(0.0006), 1);
+  // Round half away from zero, both signs.
+  EXPECT_EQ(us_round(2.5), 3);
+  EXPECT_EQ(us_round(-2.5), -3);
+  EXPECT_EQ(us_from_ms(-2.3), -2300);
+  static_assert(us_from_ms(2.3) == 2300, "us_round must be constexpr");
+}
+
 }  // namespace
 }  // namespace cyclops::util
