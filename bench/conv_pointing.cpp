@@ -34,9 +34,7 @@ int main() {
       "conv_pointing",
       {{"serial_ms", serial_ms},
        {"parallel_ms", parallel_ms},
-       {"speedup", serial_ms / parallel_ms},
-       {"threads", static_cast<double>(
-                       util::ThreadPool::global().thread_count())}});
+       {"speedup", serial_ms / parallel_ms}});
 
   const core::PointingSolver solver = rig.calib.make_pointing_solver();
 

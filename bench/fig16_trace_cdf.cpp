@@ -96,7 +96,6 @@ int main() {
        {"parallel_speedup", event_serial_ms / event_parallel_ms},
        {"events", static_cast<double>(result.events)},
        {"events_per_sec", events_per_sec},
-       {"threads", threads},
        {"traces", static_cast<double>(traces.size())}});
   std::printf("fixed-step serial %.0f ms; event engine %.0f ms serial "
               "(%.2fx), %.0f ms on %d threads (%.2fx more)\n",

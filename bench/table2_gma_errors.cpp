@@ -44,9 +44,7 @@ int main() {
       "table2",
       {{"serial_ms", serial_ms},
        {"parallel_ms", parallel_ms},
-       {"speedup", serial_ms / parallel_ms},
-       {"threads", static_cast<double>(
-                       util::ThreadPool::global().thread_count())}});
+       {"speedup", serial_ms / parallel_ms}});
 
   util::Rng rng(17);
   const core::CombinedErrors combined = core::evaluate_combined_errors(

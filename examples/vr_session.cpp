@@ -17,6 +17,7 @@
 #include "motion/trace_generator.hpp"
 #include "net/adaptive_stream.hpp"
 #include "net/streamer.hpp"
+#include "obs/obs.hpp"
 #include "util/units.hpp"
 
 using namespace cyclops;
@@ -50,6 +51,11 @@ int main() {
   source_config.size_jitter = 0.03;
   net::FrameSource source(source_config, util::Rng(17));
   net::FrameStreamer streamer(net::StreamerConfig{});
+
+  // One registry for the whole session; every layer below records into it
+  // and the report ends with the Prometheus text view (README quickstart).
+  obs::Registry registry;
+  streamer.set_obs(&registry);
   std::printf("stream: %.0f fps, %.1f Gbps raw (%.0f Mbit/frame)\n\n",
               source_config.fps, source_config.stream_rate_gbps,
               source_config.mean_frame_bits() / 1e6);
@@ -61,6 +67,7 @@ int main() {
   net::AdaptiveConfig adaptive_config;
   adaptive_config.raw_rate_gbps = source_config.stream_rate_gbps;
   net::AdaptiveStreamController adaptive(adaptive_config);
+  adaptive.set_obs(&registry);
   link::SessionLog log;
 
   link::SimOptions options;
@@ -75,7 +82,7 @@ int main() {
 
   link::EventSessionStats engine_stats;
   const link::RunResult run = link::run_link_session_events(
-      proto, controller, profile, options, &log, &engine_stats);
+      proto, controller, profile, options, &log, &engine_stats, &registry);
   log.finish(run);
 
   // ---- report ----
@@ -114,5 +121,12 @@ int main() {
               "(CSVs via SessionLog::save)\n",
               log.count(link::SessionEventKind::kLinkDown),
               log.longest_outage_s());
+
+  // Fold in the solver tallies (G'/LM live in the process-wide registry)
+  // and the thread-pool dispatch stats, then dump everything.
+  registry.merge_from(obs::Registry::global());
+  obs::record_thread_pool(registry, util::ThreadPool::global());
+  std::printf("\n== telemetry (Prometheus text exposition) ==\n%s",
+              obs::to_prometheus(registry).c_str());
   return 0;
 }

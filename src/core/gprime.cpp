@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "geom/ray.hpp"
+#include "obs/registry.hpp"
 
 namespace cyclops::core {
 namespace {
@@ -15,12 +16,33 @@ std::optional<geom::Vec3> hit_on_plane(const std::optional<geom::Ray>& ray,
   return ray->at(*t);
 }
 
+/// G' convergence tallies in the process-wide registry (same pattern as
+/// the LM metrics in opt/levmar.cpp); records on every exit path.
+struct GPrimeRecorder {
+  const GPrimeResult& result;
+
+  ~GPrimeRecorder() {
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& solves =
+          obs::Registry::global().counter("gprime_solves_total");
+      static obs::Counter& converged =
+          obs::Registry::global().counter("gprime_converged_total");
+      static obs::Histogram& iterations = obs::Registry::global().histogram(
+          "gprime_iterations", obs::HistogramSpec::linear(-0.5, 1.0, 16));
+      solves.inc();
+      if (result.converged) converged.inc();
+      iterations.record(static_cast<double>(result.iterations));
+    }
+  }
+};
+
 }  // namespace
 
 GPrimeResult GPrimeSolver::solve(const GmaModel& model,
                                  const geom::Vec3& target, double v1_init,
                                  double v2_init) const {
   GPrimeResult result;
+  const GPrimeRecorder recorder{result};
   result.v1 = v1_init;
   result.v2 = v2_init;
 

@@ -1,0 +1,25 @@
+#include "event/obs_hook.hpp"
+
+namespace cyclops::event {
+
+MetricsHook::MetricsHook(obs::Registry& registry, std::string plane)
+    : scheduled_(registry.counter("events_scheduled_total",
+                                  {{"plane", plane}})),
+      cancelled_(registry.counter("events_cancelled_total",
+                                  {{"plane", plane}})),
+      dispatched_(registry.counter("events_dispatched_total",
+                                   {{"plane", plane}})) {}
+
+void MetricsHook::on_schedule(const Scheduler&, const Event&) {
+  scheduled_.inc();
+}
+
+void MetricsHook::on_cancel(const Scheduler&, const Event&) {
+  cancelled_.inc();
+}
+
+void MetricsHook::on_dispatch(const Scheduler&, const Event&) {
+  dispatched_.inc();
+}
+
+}  // namespace cyclops::event

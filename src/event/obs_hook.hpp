@@ -1,0 +1,29 @@
+// TraceHook that feeds a metrics Registry: scheduler traffic becomes
+// `events_{scheduled,cancelled,dispatched}_total` counters, labelled by
+// plane ("eval", "session", "multi_tx", ...) so one registry can hold
+// several control planes side by side.  Metric references are hoisted at
+// construction; the per-event cost is one relaxed atomic increment.
+#pragma once
+
+#include <string>
+
+#include "event/trace_hook.hpp"
+#include "obs/registry.hpp"
+
+namespace cyclops::event {
+
+class MetricsHook final : public TraceHook {
+ public:
+  MetricsHook(obs::Registry& registry, std::string plane);
+
+  void on_schedule(const Scheduler& sched, const Event& ev) override;
+  void on_cancel(const Scheduler& sched, const Event& ev) override;
+  void on_dispatch(const Scheduler& sched, const Event& ev) override;
+
+ private:
+  obs::Counter& scheduled_;
+  obs::Counter& cancelled_;
+  obs::Counter& dispatched_;
+};
+
+}  // namespace cyclops::event

@@ -1,7 +1,8 @@
 #include "event/trace_hook.hpp"
 
+#include <cassert>
+
 #include "event/scheduler.hpp"
-#include "util/bench_io.hpp"
 
 namespace cyclops::event {
 
@@ -9,20 +10,37 @@ void TraceHook::on_schedule(const Scheduler&, const Event&) {}
 void TraceHook::on_cancel(const Scheduler&, const Event&) {}
 void TraceHook::on_dispatch(const Scheduler&, const Event&) {}
 
+EventCounter::EventCounter()
+    // Bucket edges -0.5 + i for i = 1..kMaxTypes put integer type t in
+    // bucket t exactly (lower_bound picks the first edge >= t).
+    : by_type_(obs::HistogramSpec::linear(-0.5, 1.0,
+                                          static_cast<int>(kMaxTypes))) {}
+
 void EventCounter::on_schedule(const Scheduler&, const Event&) {
-  ++scheduled_;
+  scheduled_.inc();
 }
 
-void EventCounter::on_cancel(const Scheduler&, const Event&) { ++cancelled_; }
+void EventCounter::on_cancel(const Scheduler&, const Event&) {
+  cancelled_.inc();
+}
 
 void EventCounter::on_dispatch(const Scheduler&, const Event& ev) {
-  ++dispatched_;
-  ++by_type_[ev.type];
+  assert(ev.type < kMaxTypes);
+  dispatched_.inc();
+  by_type_.record(static_cast<double>(ev.type));
 }
 
 std::uint64_t EventCounter::dispatched(EventType type) const {
-  const auto it = by_type_.find(type);
-  return it != by_type_.end() ? it->second : 0;
+  return type < kMaxTypes ? by_type_.bucket(type) : 0;
+}
+
+std::map<EventType, std::uint64_t> EventCounter::histogram() const {
+  std::map<EventType, std::uint64_t> out;
+  for (EventType t = 0; t < kMaxTypes; ++t) {
+    const std::uint64_t n = by_type_.bucket(t);
+    if (n != 0) out[t] = n;
+  }
+  return out;
 }
 
 JsonlTraceWriter::JsonlTraceWriter(const std::filesystem::path& path)
@@ -39,11 +57,16 @@ JsonlTraceWriter::~JsonlTraceWriter() {
 
 void JsonlTraceWriter::on_dispatch(const Scheduler& sched, const Event& ev) {
   if (!file_) return;
-  std::fprintf(file_, "{\"t_us\":%lld,\"type\":%u,\"target\":\"%s\",\"i64\":%lld,\"f64\":",
-               static_cast<long long>(ev.time), ev.type,
-               sched.process_name(ev.target), static_cast<long long>(ev.i64));
-  std::fprintf(file_, util::kJsonNumberFormat, ev.f64);
-  std::fputs("}\n", file_);
+  writer_.clear();
+  writer_.begin();
+  writer_.field("t_us", static_cast<std::int64_t>(ev.time));
+  writer_.field("type", static_cast<std::uint64_t>(ev.type));
+  writer_.field("target", std::string_view(sched.process_name(ev.target)));
+  writer_.field("i64", ev.i64);
+  writer_.field("f64", ev.f64);
+  writer_.end();
+  std::fputs(writer_.str().c_str(), file_);
+  std::fputc('\n', file_);
 }
 
 }  // namespace cyclops::event

@@ -9,6 +9,8 @@
 #include <map>
 
 #include "event/event.hpp"
+#include "obs/metrics.hpp"
+#include "util/json_writer.hpp"
 
 namespace cyclops::event {
 
@@ -22,32 +24,41 @@ class TraceHook {
   virtual void on_dispatch(const Scheduler& sched, const Event& ev);
 };
 
-/// Per-event-type counters and totals.  std::map keeps the histogram
-/// iteration order deterministic for reports.
+/// Per-event-type counters and totals, backed by obs metric primitives:
+/// three obs::Counter totals plus an obs::Histogram whose unit-width
+/// buckets map event type t to bucket t exactly (types must stay below
+/// kMaxTypes; every subsystem enum tops out below ten today).
 class EventCounter final : public TraceHook {
  public:
+  EventCounter();
+
   void on_schedule(const Scheduler& sched, const Event& ev) override;
   void on_cancel(const Scheduler& sched, const Event& ev) override;
   void on_dispatch(const Scheduler& sched, const Event& ev) override;
 
-  std::uint64_t scheduled() const noexcept { return scheduled_; }
-  std::uint64_t cancelled() const noexcept { return cancelled_; }
-  std::uint64_t dispatched() const noexcept { return dispatched_; }
+  std::uint64_t scheduled() const noexcept { return scheduled_.value(); }
+  std::uint64_t cancelled() const noexcept { return cancelled_.value(); }
+  std::uint64_t dispatched() const noexcept { return dispatched_.value(); }
   std::uint64_t dispatched(EventType type) const;
-  const std::map<EventType, std::uint64_t>& histogram() const noexcept {
-    return by_type_;
-  }
+  /// Non-zero per-type dispatch counts in ascending type order (same shape
+  /// the old std::map-based tally reported; now materialized on demand
+  /// from the histogram buckets).
+  std::map<EventType, std::uint64_t> histogram() const;
+
+  /// Largest representable event type + 1 (histogram bucket count).
+  static constexpr EventType kMaxTypes = 64;
 
  private:
-  std::uint64_t scheduled_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t dispatched_ = 0;
-  std::map<EventType, std::uint64_t> by_type_;
+  obs::Counter scheduled_;
+  obs::Counter cancelled_;
+  obs::Counter dispatched_;
+  obs::Histogram by_type_;
 };
 
 /// Writes one JSON object per dispatched event:
 ///   {"t_us":1250,"type":3,"target":"tracker","i64":0,"f64":-12.5}
-/// Numbers use the same round-trip format as util::write_bench_json.
+/// Built on util::JsonWriter so numbers use the same round-trip format as
+/// util::write_bench_json.
 class JsonlTraceWriter final : public TraceHook {
  public:
   explicit JsonlTraceWriter(const std::filesystem::path& path);
@@ -60,6 +71,7 @@ class JsonlTraceWriter final : public TraceHook {
 
  private:
   std::FILE* file_ = nullptr;
+  util::JsonWriter writer_;
 };
 
 }  // namespace cyclops::event

@@ -4,17 +4,45 @@
 #include <cstddef>
 
 #include "event/scheduler.hpp"
+#include "obs/config.hpp"
 
 namespace cyclops::link {
 namespace {
 
+/// Hoisted eval-plane metric handles (one registry lookup per trace, one
+/// relaxed atomic op per recording).  Null members when no registry was
+/// passed; the whole struct is dead weight in CYCLOPS_OBS=OFF builds.
+struct EvalMetrics {
+  obs::Counter* intervals = nullptr;
+  obs::Counter* bisect_iters = nullptr;
+  obs::Counter* on_runs = nullptr;
+  obs::Counter* off_runs = nullptr;
+  obs::Histogram* off_run_ms = nullptr;
+
+  explicit EvalMetrics(obs::Registry* registry) {
+    if constexpr (obs::kEnabled) {
+      if (registry != nullptr) {
+        intervals = &registry->counter("eval_intervals_total");
+        bisect_iters = &registry->counter("eval_bisect_iters_total");
+        on_runs = &registry->counter("eval_on_runs_total");
+        off_runs = &registry->counter("eval_off_runs_total");
+        // Off runs last 1 slot .. ~10 s of slots; log buckets in ms.
+        off_run_ms = &registry->histogram(
+            "eval_link_off_run_ms", obs::HistogramSpec::log_scale(1.0, 1e4, 5));
+      }
+    }
+  }
+};
+
 /// First s in [lo, hi) where `pred(s)` holds, or hi when none.  Requires
 /// a monotone predicate (false... then true...), which IntervalModel
 /// guarantees per region — see the off_at comment in slot_eval.hpp.
+/// `iters` (nullable) tallies probe count for the eval metrics.
 template <typename Pred>
-int first_true(int lo, int hi, Pred&& pred) {
+int first_true(int lo, int hi, Pred&& pred, std::uint64_t* iters = nullptr) {
   while (lo < hi) {
     const int mid = lo + (hi - lo) / 2;
+    if (iters != nullptr) ++*iters;
     if (pred(mid)) {
       hi = mid;
     } else {
@@ -72,8 +100,9 @@ class FrameAccountant final : public event::Process {
 class TraceReportProcess final : public event::Process {
  public:
   TraceReportProcess(const motion::Trace& trace, const SlotEvalConfig& config,
-                     event::ProcessId accountant)
-      : trace_(trace), config_(config), accountant_(accountant) {}
+                     event::ProcessId accountant, const EvalMetrics& metrics)
+      : trace_(trace), config_(config), accountant_(accountant),
+        metrics_(metrics) {}
 
   void set_self(event::ProcessId self) { self_ = self; }
 
@@ -81,6 +110,9 @@ class TraceReportProcess final : public event::Process {
     const std::size_t i = static_cast<std::size_t>(ev.i64);
     const auto& prev = trace_.samples[i - 1];
     const auto& cur = trace_.samples[i];
+    if constexpr (obs::kEnabled) {
+      if (metrics_.intervals != nullptr) metrics_.intervals->inc();
+    }
 
     detail::IntervalModel model;
     model.gap_ms = util::us_to_ms(cur.time - prev.time);
@@ -96,12 +128,20 @@ class TraceReportProcess final : public event::Process {
       // Carry-region boundary: slots [0, carry) still accumulate on the
       // previous interval's budget.  Both region predicates are monotone,
       // so two bisections find the exact first off slot of each region.
+      std::uint64_t iters = 0;
+      std::uint64_t* iter_tally =
+          obs::kEnabled && metrics_.bisect_iters != nullptr ? &iters : nullptr;
       const int carry = first_true(
-          0, slots, [&model](int s) { return !model.in_carry(s); });
+          0, slots, [&model](int s) { return !model.in_carry(s); },
+          iter_tally);
       const int off_a = first_true(
-          0, carry, [&model](int s) { return model.off_at(s); });
+          0, carry, [&model](int s) { return model.off_at(s); }, iter_tally);
       const int off_b = first_true(
-          carry, slots, [&model](int s) { return model.off_at(s); });
+          carry, slots, [&model](int s) { return model.off_at(s); },
+          iter_tally);
+      if constexpr (obs::kEnabled) {
+        if (metrics_.bisect_iters != nullptr) metrics_.bisect_iters->inc(iters);
+      }
 
       // Emit the interval as maximal same-state runs, in slot order:
       // [0,off_a) on, [off_a,carry) off, [carry,off_b) on, [off_b,slots)
@@ -120,6 +160,19 @@ class TraceReportProcess final : public event::Process {
         run.i64 = pend_end - pend_begin;
         run.f64 = pend_off ? model.lat_rate : 0.0;
         sched.schedule(run);
+        if constexpr (obs::kEnabled) {
+          if (pend_off) {
+            if (metrics_.off_runs != nullptr) metrics_.off_runs->inc();
+            if (metrics_.off_run_ms != nullptr) {
+              // run length in ms derives from integers x config constants,
+              // so the recorded value is thread-count independent.
+              metrics_.off_run_ms->record((pend_end - pend_begin) *
+                                          config_.slot_ms);
+            }
+          } else if (metrics_.on_runs != nullptr) {
+            metrics_.on_runs->inc();
+          }
+        }
       };
       for (int k = 1; k <= 4; ++k) {
         const bool off = (k % 2) == 0;  // segments alternate on/off.
@@ -155,6 +208,7 @@ class TraceReportProcess final : public event::Process {
   const motion::Trace& trace_;
   const SlotEvalConfig& config_;
   event::ProcessId accountant_;
+  const EvalMetrics& metrics_;
   event::ProcessId self_ = event::kNoProcess;
 };
 
@@ -163,15 +217,18 @@ class TraceReportProcess final : public event::Process {
 SlotEvalResult evaluate_trace_events(const motion::Trace& trace,
                                      const SlotEvalConfig& config,
                                      EventEvalStats* stats,
-                                     event::TraceHook* extra_hook) {
+                                     event::TraceHook* extra_hook,
+                                     obs::Registry* registry) {
+  if constexpr (!obs::kEnabled) registry = nullptr;
   if (trace.samples.size() < 2) return {};
 
   event::Scheduler sched;
   if (extra_hook) sched.add_hook(extra_hook);
 
+  EvalMetrics metrics(registry);
   FrameAccountant accountant;
   const event::ProcessId acc_id = sched.add_process(&accountant);
-  TraceReportProcess reporter(trace, config, acc_id);
+  TraceReportProcess reporter(trace, config, acc_id, metrics);
   const event::ProcessId reporter_id = sched.add_process(&reporter);
   reporter.set_self(reporter_id);
 
@@ -187,7 +244,17 @@ SlotEvalResult evaluate_trace_events(const motion::Trace& trace,
     stats->dispatched = sched.dispatched();
     stats->scheduled = sched.scheduled();
   }
-  return accountant.finish();
+  SlotEvalResult result = accountant.finish();
+  if (registry != nullptr) {
+    // Bulk per-trace tallies: one atomic add each, after the engine ran.
+    registry->counter("eval_traces_total").inc();
+    registry->counter("eval_slots_total")
+        .inc(static_cast<std::uint64_t>(result.total_slots));
+    registry->counter("eval_off_slots_total")
+        .inc(static_cast<std::uint64_t>(result.off_slots));
+    registry->counter("eval_events_dispatched_total").inc(sched.dispatched());
+  }
+  return result;
 }
 
 }  // namespace cyclops::link

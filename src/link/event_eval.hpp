@@ -16,6 +16,7 @@
 
 #include "event/trace_hook.hpp"
 #include "link/slot_eval.hpp"
+#include "obs/registry.hpp"
 
 namespace cyclops::link {
 
@@ -35,9 +36,18 @@ struct EventEvalStats {
 /// Evaluates one trace on the event engine.  `stats` (optional) receives
 /// the engine's event counts; `extra_hook` (optional) is attached to the
 /// scheduler for custom observability (counters, JSONL trace).
+///
+/// `registry` (optional) receives eval-plane metrics: eval_traces_total,
+/// eval_intervals_total, eval_bisect_iters_total, eval_{on,off}_runs_total,
+/// eval_{slots,off_slots}_total, eval_events_dispatched_total counters and
+/// the eval_link_off_run_ms histogram.  Every recorded value derives from
+/// per-trace integers, so sharded accumulation merges bit-identically at
+/// any thread count (the acceptance criterion evaluate_dataset tests).
+/// No-op in CYCLOPS_OBS=OFF builds.
 SlotEvalResult evaluate_trace_events(const motion::Trace& trace,
                                      const SlotEvalConfig& config,
                                      EventEvalStats* stats = nullptr,
-                                     event::TraceHook* extra_hook = nullptr);
+                                     event::TraceHook* extra_hook = nullptr,
+                                     obs::Registry* registry = nullptr);
 
 }  // namespace cyclops::link

@@ -7,9 +7,32 @@
 #include <limits>
 
 #include "core/exhaustive_aligner.hpp"
+#include "obs/config.hpp"
 
 namespace cyclops::link {
 namespace {
+
+/// Hoisted session-plane metric handles; null members when no registry
+/// was passed (or the build has CYCLOPS_OBS=OFF).
+struct SessionMetrics {
+  obs::Counter* realignments = nullptr;
+  obs::Counter* tp_failures = nullptr;
+  obs::Histogram* realign_latency_us = nullptr;
+  obs::Histogram* link_off_us = nullptr;
+
+  explicit SessionMetrics(obs::Registry* registry) {
+    if constexpr (obs::kEnabled) {
+      if (registry != nullptr) {
+        realignments = &registry->counter("session_realignments_total");
+        tp_failures = &registry->counter("session_tp_failures_total");
+        realign_latency_us = &registry->histogram(
+            "session_realign_latency_us", obs::HistogramSpec::duration_us());
+        link_off_us = &registry->histogram("session_link_off_us",
+                                           obs::HistogramSpec::duration_us());
+      }
+    }
+  }
+};
 
 /// State shared by the session processes (single-TX closed loop).
 struct SessionState {
@@ -18,6 +41,7 @@ struct SessionState {
   const motion::MotionProfile& profile;
   const SimOptions& options;
   SessionLog* log;
+  SessionMetrics metrics;
 
   LinkStateMachine link_state;
   sim::Voltages applied{};
@@ -36,6 +60,11 @@ struct SessionState {
   int window_slots = 0;
   double total_up = 0.0;
   int total_slots = 0;
+
+  // Link-down span tracking for the session_link_off_us histogram
+  // (-1 until the first sampled slot fixes the initial state).
+  int prev_up = -1;
+  util::SimTimeUs down_since = 0;
 
   /// Applies every command whose settle completed by `now`, logging each
   /// at its exact apply instant (not the sampling slot).
@@ -75,8 +104,20 @@ class TrackerProcess final : public event::Process {
         apply.type = kEvApplyCommand;
         apply.target = plant_;
         sched.schedule(apply);
-      } else if (s_.log) {
-        s_.log->on_event(report.delivery_time, SessionEventKind::kTpFailure);
+        if constexpr (obs::kEnabled) {
+          if (s_.metrics.realignments != nullptr) {
+            s_.metrics.realignments->inc();
+            s_.metrics.realign_latency_us->record(
+                static_cast<double>(apply.time - now));
+          }
+        }
+      } else {
+        if (s_.log) {
+          s_.log->on_event(report.delivery_time, SessionEventKind::kTpFailure);
+        }
+        if constexpr (obs::kEnabled) {
+          if (s_.metrics.tp_failures != nullptr) s_.metrics.tp_failures->inc();
+        }
       }
     }
     const util::SimTimeUs next = s_.proto.tracker.next_capture_time(now);
@@ -132,6 +173,16 @@ class SamplerProcess final : public event::Process {
     const bool up = s_.link_state.step(now, power);
     if (s_.options.on_slot) s_.options.on_slot(now, up, power);
     if (s_.log) s_.log->on_slot(now, up, power);
+    if constexpr (obs::kEnabled) {
+      if (s_.metrics.link_off_us != nullptr) {
+        // Contiguous down spans, measured slot-edge to slot-edge.
+        if (s_.prev_up != 0 && !up) s_.down_since = now;
+        if (s_.prev_up == 0 && up) {
+          s_.metrics.link_off_us->record(static_cast<double>(now - s_.down_since));
+        }
+        s_.prev_up = up ? 1 : 0;
+      }
+    }
 
     const optics::SfpSpec& sfp = s_.proto.scene.config().sfp;
     ++s_.window_slots;
@@ -212,13 +263,16 @@ RunResult run_link_session_events(sim::Prototype& proto,
                                   core::TpController& controller,
                                   const motion::MotionProfile& profile,
                                   const SimOptions& options, SessionLog* log,
-                                  EventSessionStats* stats) {
+                                  EventSessionStats* stats,
+                                  obs::Registry* registry) {
+  if constexpr (!obs::kEnabled) registry = nullptr;
   const optics::SfpSpec& sfp = proto.scene.config().sfp;
   SessionState s{proto,
                  controller,
                  profile,
                  options,
                  log,
+                 SessionMetrics(registry),
                  LinkStateMachine(sfp.rx_sensitivity_dbm,
                                   util::us_from_s(sfp.link_up_delay_s)),
                  {},
@@ -281,13 +335,31 @@ RunResult run_link_session_events(sim::Prototype& proto,
     stats->events = sched.dispatched();
     stats->scheduled = sched.scheduled();
   }
+  if (registry != nullptr) {
+    registry->counter("session_slots_total")
+        .inc(static_cast<std::uint64_t>(s.total_slots));
+    registry->counter("session_events_dispatched_total")
+        .inc(sched.dispatched());
+  }
   return s.result;
 }
 
 HandoverProcess::HandoverProcess(std::size_t num_tx, HandoverConfig config,
-                                 event::Scheduler& sched, SessionLog* log)
+                                 event::Scheduler& sched, SessionLog* log,
+                                 obs::Registry* registry)
     : config_(config), num_tx_(num_tx), sched_(sched), log_(log) {
   self_ = sched_.add_process(this);
+  if constexpr (obs::kEnabled) {
+    if (registry != nullptr) {
+      m_started_ = &registry->counter("handover_started_total");
+      m_switches_ = &registry->counter("handover_switches_total");
+      m_cancelled_ = &registry->counter("handover_cancelled_total");
+      m_switch_us_ = &registry->histogram("handover_switch_us",
+                                          obs::HistogramSpec::duration_us());
+      m_reacq_us_ = &registry->histogram("handover_reacq_us",
+                                         obs::HistogramSpec::duration_us());
+    }
+  }
 }
 
 int HandoverProcess::on_powers(std::span<const double> powers_dbm) {
@@ -302,6 +374,12 @@ int HandoverProcess::on_powers(std::span<const double> powers_dbm) {
         sched_.cancel(switch_timer_)) {
       switch_pending_ = false;
       ++cancelled_;
+      if constexpr (obs::kEnabled) {
+        if (m_cancelled_ != nullptr) {
+          m_cancelled_->inc();
+          m_reacq_us_->record(static_cast<double>(now - switch_started_at_));
+        }
+      }
       if (log_) {
         log_->on_event(now, SessionEventKind::kReacquisition, active_power);
       }
@@ -319,13 +397,23 @@ int HandoverProcess::on_powers(std::span<const double> powers_dbm) {
 
   if (best != active_ && (active_lost || better)) {
     ++started_;
+    if constexpr (obs::kEnabled) {
+      if (m_started_ != nullptr) m_started_->inc();
+    }
     if (config_.switch_delay_s <= 0.0) {
       // Instant switch: matches the legacy manager, which is immediately
       // out of the switching state when the delay is zero.
       active_ = best;
+      if constexpr (obs::kEnabled) {
+        if (m_switches_ != nullptr) {
+          m_switches_->inc();
+          m_switch_us_->record(0.0);
+        }
+      }
       if (log_) log_->on_event(now, SessionEventKind::kHandover, *best_it);
       return active_;
     }
+    switch_started_at_ = now;
     switch_pending_ = true;
     switch_drop_triggered_ = active_lost;
     pending_target_ = best;
@@ -345,6 +433,12 @@ void HandoverProcess::handle(event::Scheduler& sched, const event::Event& ev) {
   assert(ev.type == kEvSwitchDone);
   active_ = pending_target_;
   switch_pending_ = false;
+  if constexpr (obs::kEnabled) {
+    if (m_switches_ != nullptr) {
+      m_switches_->inc();
+      m_switch_us_->record(static_cast<double>(sched.now() - switch_started_at_));
+    }
+  }
   if (log_) {
     log_->on_event(sched.now(), SessionEventKind::kHandover, ev.f64);
   }

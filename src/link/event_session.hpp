@@ -21,6 +21,7 @@
 #include "link/handover.hpp"
 #include "link/session_log.hpp"
 #include "motion/profile.hpp"
+#include "obs/registry.hpp"
 #include "sim/prototype.hpp"
 
 namespace cyclops::link {
@@ -42,12 +43,21 @@ struct EventSessionStats {
 /// Event-driven counterpart of run_link_simulation.  `log` (optional)
 /// receives per-slot transitions plus exact-time kRealignment events;
 /// `stats` (optional) receives the engine's event counts.
+///
+/// `registry` (optional) receives session-plane metrics:
+/// session_{realignments,tp_failures,slots,events_dispatched}_total
+/// counters, the session_realign_latency_us histogram (report capture to
+/// command settle, §5.2's end-to-end realignment latency) and the
+/// session_link_off_us histogram (contiguous link-down spans, §5.4's
+/// distributional view).  All values are sim-time quantities, so they are
+/// deterministic; no-op in CYCLOPS_OBS=OFF builds.
 RunResult run_link_session_events(sim::Prototype& proto,
                                   core::TpController& controller,
                                   const motion::MotionProfile& profile,
                                   const SimOptions& options = {},
                                   SessionLog* log = nullptr,
-                                  EventSessionStats* stats = nullptr);
+                                  EventSessionStats* stats = nullptr,
+                                  obs::Registry* registry = nullptr);
 
 /// Event-driven handover control.  Decision rule identical to
 /// HandoverManager::step (hysteresis + drop threshold, first-best wins
@@ -58,9 +68,13 @@ RunResult run_link_session_events(sim::Prototype& proto,
 class HandoverProcess final : public event::Process {
  public:
   /// Registers itself with `sched`; `log` (optional) receives kHandover /
-  /// kReacquisition events at their exact timestamps.
+  /// kReacquisition events at their exact timestamps.  `registry`
+  /// (optional) receives handover_{started,switches,cancelled}_total
+  /// counters plus handover_{switch,reacq}_us histograms (time from the
+  /// switch trigger to the commit / to the old TX reacquiring).
   HandoverProcess(std::size_t num_tx, HandoverConfig config,
-                  event::Scheduler& sched, SessionLog* log = nullptr);
+                  event::Scheduler& sched, SessionLog* log = nullptr,
+                  obs::Registry* registry = nullptr);
 
   /// Feeds the per-TX achievable powers at sched.now(); returns the
   /// serving TX index, or -1 while a switch is in progress.
@@ -88,8 +102,16 @@ class HandoverProcess final : public event::Process {
   bool switch_drop_triggered_ = false;
   int pending_target_ = 0;
   event::Timer switch_timer_;
+  util::SimTimeUs switch_started_at_ = 0;
   int started_ = 0;
   int cancelled_ = 0;
+
+  // Hoisted metric handles (null without a registry / in OBS=OFF builds).
+  obs::Counter* m_started_ = nullptr;
+  obs::Counter* m_switches_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
+  obs::Histogram* m_switch_us_ = nullptr;
+  obs::Histogram* m_reacq_us_ = nullptr;
 };
 
 }  // namespace cyclops::link

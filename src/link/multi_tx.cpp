@@ -148,7 +148,8 @@ MultiTxResult run_multi_tx_session(
     std::vector<TxChain>& chains, const motion::MotionProfile& profile,
     const MultiTxConfig& config,
     const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
-    SessionLog* log) {
+    SessionLog* log, obs::Registry* registry) {
+  if constexpr (!obs::kEnabled) registry = nullptr;
   MultiTxResult result;
   if (chains.empty()) return result;
 
@@ -164,7 +165,8 @@ MultiTxResult run_multi_tx_session(
   // Registered first so an equal-time switch-done timer (scheduled before
   // any same-time slot event was) commits the new TX before that slot
   // samples it — matching the legacy `now < switch_done_` window.
-  HandoverProcess handover(chains.size(), config.handover, sched, log);
+  HandoverProcess handover(chains.size(), config.handover, sched, log,
+                           registry);
 
   MultiTxState s{chains,    controllers, config, profile, occlusion, handover,
                  0.0,       0,           0,      0,       {},        {},
@@ -205,6 +207,14 @@ MultiTxResult run_multi_tx_session(
     result.per_tx_usable_fraction.push_back(fraction);
     result.best_single_tx_fraction =
         std::max(result.best_single_tx_fraction, fraction);
+  }
+  if (registry != nullptr) {
+    registry->counter("multi_tx_slots_total")
+        .inc(static_cast<std::uint64_t>(s.slots));
+    registry->counter("multi_tx_served_total")
+        .inc(static_cast<std::uint64_t>(s.served));
+    registry->counter("multi_tx_events_dispatched_total")
+        .inc(sched.dispatched());
   }
   return result;
 }

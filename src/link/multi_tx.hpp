@@ -14,6 +14,7 @@
 #include "link/handover.hpp"
 #include "link/session_log.hpp"
 #include "motion/profile.hpp"
+#include "obs/registry.hpp"
 
 namespace cyclops::link {
 
@@ -60,10 +61,15 @@ TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
 /// path is blocked at time t (the scene occluders are managed internally
 /// from it).  `log` (optional) receives kHandover / kReacquisition events
 /// at their exact timestamps.
+///
+/// `registry` (optional) receives multi_tx_{slots,served,events_dispatched}
+/// _total counters plus the handover metrics documented on HandoverProcess
+/// (switches, cancellations, reacquisition time).  No-op in
+/// CYCLOPS_OBS=OFF builds.
 MultiTxResult run_multi_tx_session(
     std::vector<TxChain>& chains, const motion::MotionProfile& profile,
     const MultiTxConfig& config,
     const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
-    SessionLog* log = nullptr);
+    SessionLog* log = nullptr, obs::Registry* registry = nullptr);
 
 }  // namespace cyclops::link

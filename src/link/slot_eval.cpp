@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "link/event_eval.hpp"
+#include "obs/config.hpp"
 
 namespace cyclops::link {
 
@@ -69,28 +71,44 @@ SlotEvalResult evaluate_trace_fixed_step(const motion::Trace& trace,
 
 DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
                                    const SlotEvalConfig& config,
-                                   util::ThreadPool& pool) {
+                                   util::ThreadPool& pool,
+                                   obs::Registry* registry) {
+  if constexpr (!obs::kEnabled) registry = nullptr;
+  if (config.engine == EvalEngine::kFixedStep) registry = nullptr;
+
   // Fan the per-trace evaluations out over the pool (one engine per
   // trace, each writing only its own slot), then merge in trace order so
   // counters and the pooled frame histogram match the serial path exactly.
+  // Metrics follow the same discipline: each chunk records into its own
+  // registry shard (chunk indices are stable for a given n and thread
+  // count, and metric updates are integer adds), and the shards fold into
+  // `registry` in chunk order below — bit-identical at any thread count.
   struct PerTrace {
     SlotEvalResult result;
     std::uint64_t events = 0;
   };
-  const std::vector<PerTrace> per_trace = util::parallel_map<PerTrace>(
+  std::vector<PerTrace> per_trace(traces.size());
+  obs::ShardedRegistry shards(registry != nullptr ? pool.thread_count() : 1);
+  pool.run_chunked(
       traces.size(),
-      [&](std::size_t i) {
-        PerTrace out;
-        if (config.engine == EvalEngine::kEvent) {
-          EventEvalStats stats;
-          out.result = evaluate_trace_events(traces[i], config, &stats);
-          out.events = stats.dispatched;
-        } else {
-          out.result = evaluate_trace_fixed_step(traces[i], config);
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        obs::Registry* shard =
+            registry != nullptr ? &shards.shard(chunk) : nullptr;
+        for (std::size_t i = begin; i < end; ++i) {
+          PerTrace out;
+          if (config.engine == EvalEngine::kEvent) {
+            EventEvalStats stats;
+            out.result =
+                evaluate_trace_events(traces[i], config, &stats, nullptr,
+                                      shard);
+            out.events = stats.dispatched;
+          } else {
+            out.result = evaluate_trace_fixed_step(traces[i], config);
+          }
+          per_trace[i] = std::move(out);
         }
-        return out;
-      },
-      pool);
+      });
+  if (registry != nullptr) shards.merge_into(*registry);
 
   DatasetEvalResult result;
   result.per_trace_off_fraction.reserve(traces.size());

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "motion/trace.hpp"
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cyclops::link {
@@ -115,6 +116,13 @@ SlotEvalResult evaluate_trace_fixed_step(const motion::Trace& trace,
 /// `pool` — one event engine per trace — and merged in trace order, so the
 /// result is bit-identical to the serial path at any thread count (pass
 /// util::ThreadPool::serial() to force inline execution).
+///
+/// `registry` (optional, event engine only) accumulates the eval-plane
+/// metrics documented on evaluate_trace_events.  Each pool chunk records
+/// into its own registry shard and the shards merge in chunk-index order
+/// after the fan-out, so the merged metric values (counters, histogram
+/// buckets, extrema) are bit-identical at any thread count — the same
+/// determinism contract the simulation outputs already obey.
 struct DatasetEvalResult {
   std::vector<double> per_trace_off_fraction;
   SlotEvalResult pooled;
@@ -123,6 +131,7 @@ struct DatasetEvalResult {
 };
 DatasetEvalResult evaluate_dataset(
     const std::vector<motion::Trace>& traces, const SlotEvalConfig& config,
-    util::ThreadPool& pool = util::ThreadPool::global());
+    util::ThreadPool& pool = util::ThreadPool::global(),
+    obs::Registry* registry = nullptr);
 
 }  // namespace cyclops::link

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "net/frame_source.hpp"
+#include "obs/registry.hpp"
 
 namespace cyclops::net {
 
@@ -38,6 +39,12 @@ class AdaptiveStreamController {
  public:
   explicit AdaptiveStreamController(AdaptiveConfig config)
       : config_(config) {}
+
+  /// Attaches mode metrics: adaptive_switches_total counters (labelled by
+  /// destination mode) and adaptive_mode_dwell_us histograms (time spent
+  /// in the mode being left, labelled by that mode).  Pass nullptr to
+  /// detach.  No-op in CYCLOPS_OBS=OFF builds.
+  void set_obs(obs::Registry* registry);
 
   /// Feeds one slot: the link's current deliverable capacity.  Returns
   /// the mode to use for frames rendered now.
@@ -69,6 +76,12 @@ class AdaptiveStreamController {
   // the window length).
   double satisfied_ema_ = 1.0;
   util::SimTimeUs last_step_ = 0;
+
+  // Hoisted metric handles (null when detached / OBS=OFF).
+  obs::Counter* m_switch_to_raw_ = nullptr;
+  obs::Counter* m_switch_to_compressed_ = nullptr;
+  obs::Histogram* m_dwell_raw_us_ = nullptr;
+  obs::Histogram* m_dwell_compressed_us_ = nullptr;
 };
 
 }  // namespace cyclops::net

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/frame_source.hpp"
+#include "obs/registry.hpp"
 
 namespace cyclops::net {
 
@@ -31,6 +32,9 @@ struct StreamStats {
   /// Display freezes: runs of >= 2 consecutive dropped frames.
   int freeze_events = 0;
   int longest_freeze_frames = 0;
+  /// Id of the most recently delivered frame (-1 before the first); while
+  /// frames drop, the display keeps re-showing this one.
+  std::int64_t last_delivered_id = -1;
 
   double delivery_rate() const {
     return frames_offered > 0
@@ -42,6 +46,12 @@ struct StreamStats {
 class FrameStreamer {
  public:
   explicit FrameStreamer(StreamerConfig config) : config_(config) {}
+
+  /// Attaches stream metrics: stream_frames_{offered,delivered,dropped}
+  /// _total and stream_freezes_total counters plus the
+  /// stream_delivery_latency_us histogram.  Handles are hoisted here; pass
+  /// nullptr to detach.  No-op in CYCLOPS_OBS=OFF builds.
+  void set_obs(obs::Registry* registry);
 
   /// Enqueues a rendered frame.
   void offer(const Frame& frame);
@@ -68,6 +78,13 @@ class FrameStreamer {
   StreamStats stats_;
   double latency_sum_ms_ = 0.0;
   int current_drop_run_ = 0;
+
+  // Hoisted metric handles (null when detached / OBS=OFF).
+  obs::Counter* m_offered_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_freezes_ = nullptr;
+  obs::Histogram* m_latency_us_ = nullptr;
 };
 
 }  // namespace cyclops::net

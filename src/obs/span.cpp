@@ -1,0 +1,31 @@
+#include "obs/span.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace cyclops::obs {
+
+WallSpan Tracer::wall(const std::string& name, Labels labels) {
+  if (registry_ == nullptr) return WallSpan(nullptr);
+  return WallSpan(&registry_->histogram(name, HistogramSpec::duration_us(),
+                                        std::move(labels)));
+}
+
+SimSpan Tracer::sim(const std::string& name, util::SimTimeUs start,
+                    Labels labels) {
+  if (registry_ == nullptr) return SimSpan();
+  return SimSpan(&registry_->histogram(name, HistogramSpec::duration_us(),
+                                       std::move(labels)),
+                 start);
+}
+
+void record_thread_pool(Registry& registry, const util::ThreadPool& pool) {
+  const util::ThreadPool::Stats stats = pool.stats();
+  registry.counter("pool_jobs_total").inc(stats.jobs);
+  registry.counter("pool_inline_jobs_total").inc(stats.inline_jobs);
+  registry.counter("pool_parallel_jobs_total").inc(stats.parallel_jobs);
+  registry.counter("pool_chunks_total").inc(stats.chunks);
+  registry.counter("pool_wait_us_total").inc(stats.wait_us);
+  registry.gauge("pool_threads").set(static_cast<double>(pool.thread_count()));
+}
+
+}  // namespace cyclops::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "opt/linalg.hpp"
 
 namespace cyclops::opt {
@@ -13,6 +14,30 @@ double cost_of(std::span<const double> residuals) {
   for (double r : residuals) c += r * r;
   return c;
 }
+
+/// Solver metrics live in the process-wide registry (the solver has no
+/// registry parameter to thread through dozens of call sites).  Handles
+/// are function-local statics: one locked lookup per process, one relaxed
+/// atomic op per solve afterwards.  Iteration counts are integers, so the
+/// histogram stays deterministic even when calibration fans solves out
+/// over the pool.
+struct LmMetrics {
+  obs::Counter& solves;
+  obs::Counter& converged;
+  obs::Histogram& iterations;
+  obs::Histogram& wall_us;
+
+  static LmMetrics& get() {
+    static LmMetrics m{
+        obs::Registry::global().counter("lm_solves_total"),
+        obs::Registry::global().counter("lm_converged_total"),
+        obs::Registry::global().histogram(
+            "lm_iterations", obs::HistogramSpec::linear(-0.5, 1.0, 64)),
+        obs::Registry::global().histogram("lm_solve_wall_us",
+                                          obs::HistogramSpec::duration_us())};
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -66,6 +91,10 @@ void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
 LevMarResult levenberg_marquardt(const ResidualFn& fn,
                                  std::vector<double> initial_guess,
                                  const LevMarOptions& options) {
+  obs::Histogram* wall_hist = nullptr;
+  if constexpr (obs::kEnabled) wall_hist = &LmMetrics::get().wall_us;
+  obs::WallSpan span(wall_hist);
+
   LevMarResult result;
   std::vector<double> params = std::move(initial_guess);
   std::vector<double> residuals;
@@ -130,6 +159,12 @@ LevMarResult levenberg_marquardt(const ResidualFn& fn,
 
   result.params = std::move(params);
   result.final_cost = cost;
+  if constexpr (obs::kEnabled) {
+    LmMetrics& m = LmMetrics::get();
+    m.solves.inc();
+    if (result.converged) m.converged.inc();
+    m.iterations.record(static_cast<double>(result.iterations));
+  }
   return result;
 }
 

@@ -2,6 +2,12 @@
 
 #include <cstdio>
 
+#include "util/thread_pool.hpp"
+
+#ifndef CYCLOPS_GIT_REV
+#define CYCLOPS_GIT_REV "unknown"
+#endif
+
 namespace cyclops::util {
 
 void write_bench_json(
@@ -14,9 +20,12 @@ void write_bench_json(
     return;
   }
   std::fprintf(f, "{\n  \"name\": \"%s\"", name.c_str());
+  std::fprintf(f, ",\n  \"schema_version\": %d", kBenchSchemaVersion);
+  std::fprintf(f, ",\n  \"threads\": %zu", ThreadPool::env_thread_count());
+  std::fprintf(f, ",\n  \"git_rev\": \"%s\"", CYCLOPS_GIT_REV);
   for (const auto& [key, value] : fields) {
-    std::fprintf(f, ",\n  \"%s\": ", key.c_str());
-    std::fprintf(f, kJsonNumberFormat, value);
+    std::fprintf(f, ",\n  \"%s\": %s", key.c_str(),
+                 json_number(value).c_str());
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

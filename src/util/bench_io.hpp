@@ -8,12 +8,9 @@
 #include <utility>
 #include <vector>
 
-namespace cyclops::util {
+#include "util/json_writer.hpp"  // kJsonNumberFormat lives here now
 
-/// printf format for JSON numbers: round-trips every double exactly.
-/// Used by write_bench_json and event::JsonlTraceWriter so the two JSON
-/// paths stay diffable against each other.
-inline constexpr const char* kJsonNumberFormat = "%.17g";
+namespace cyclops::util {
 
 /// Wall-clock stopwatch for serial-vs-parallel and legacy-vs-event
 /// comparisons.
@@ -31,10 +28,17 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Writes `BENCH_<name>.json` in the working directory with the given
-/// numeric fields (flat object; values printed with kJsonNumberFormat so
-/// they round-trip).  Establishes the perf trajectory across PRs — run
-/// the bench, diff the JSON.
+/// Schema version stamped into every BENCH_*.json.  Bump when the emitted
+/// shape changes:
+///   1 — flat {"name", <fields>} object (PR 1/2)
+///   2 — adds schema_version / threads / git_rev metadata (PR 3)
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Writes `BENCH_<name>.json` in the working directory: metadata
+/// (schema_version, resolved thread count, git rev) followed by the given
+/// numeric fields, all printed with kJsonNumberFormat so they round-trip.
+/// Establishes the perf trajectory across PRs — run the bench, diff the
+/// JSON.
 void write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& fields);

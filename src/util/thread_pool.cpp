@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -56,13 +57,18 @@ std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
 
 void ThreadPool::run_chunked(std::size_t n, const ChunkBody& body) {
   if (n == 0) return;
+  stat_jobs_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t chunks = std::min(n, thread_count());
   if (workers_.empty() || chunks == 1 || tl_inline_depth > 0) {
+    stat_inline_jobs_.fetch_add(1, std::memory_order_relaxed);
+    stat_chunks_.fetch_add(1, std::memory_order_relaxed);
     ++tl_inline_depth;
     body(0, 0, n);
     --tl_inline_depth;
     return;
   }
+  stat_parallel_jobs_.fetch_add(1, std::memory_order_relaxed);
+  stat_chunks_.fetch_add(chunks, std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> submit(submit_mu_);
   {
@@ -81,9 +87,24 @@ void ThreadPool::run_chunked(std::size_t n, const ChunkBody& body) {
   body(0, begin, end);
   --tl_inline_depth;
 
+  const auto wait_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   body_ = nullptr;
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - wait_start);
+  stat_wait_us_.fetch_add(static_cast<std::uint64_t>(waited.count()),
+                          std::memory_order_relaxed);
+}
+
+ThreadPool::Stats ThreadPool::stats() const noexcept {
+  Stats s;
+  s.jobs = stat_jobs_.load(std::memory_order_relaxed);
+  s.inline_jobs = stat_inline_jobs_.load(std::memory_order_relaxed);
+  s.parallel_jobs = stat_parallel_jobs_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.wait_us = stat_wait_us_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::worker_main(std::size_t worker_index) {

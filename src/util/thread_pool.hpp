@@ -16,8 +16,10 @@
 // baseline without re-plumbing every call site).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -63,6 +65,19 @@ class ThreadPool {
   /// hardware concurrency, clamped to >= 1).
   static std::size_t env_thread_count();
 
+  /// Lifetime dispatch tallies (relaxed atomics; a handful of updates per
+  /// run_chunked call, not per index).  util cannot depend on obs, so the
+  /// pool keeps raw counters and obs::record_thread_pool() snapshots them
+  /// into a Registry.
+  struct Stats {
+    std::uint64_t jobs = 0;           ///< run_chunked calls with n > 0
+    std::uint64_t inline_jobs = 0;    ///< ran entirely on the caller
+    std::uint64_t parallel_jobs = 0;  ///< fanned out to workers
+    std::uint64_t chunks = 0;         ///< chunks dispatched across all jobs
+    std::uint64_t wait_us = 0;  ///< submitter wall time blocked on cv_done_
+  };
+  Stats stats() const noexcept;
+
   /// While alive, every run_chunked() issued from this thread executes
   /// inline regardless of the pool it targets.
   class SerialScope {
@@ -91,6 +106,13 @@ class ThreadPool {
 
   // Serializes concurrent submitters so one job is in flight at a time.
   std::mutex submit_mu_;
+
+  // Stats (relaxed; see Stats).
+  std::atomic<std::uint64_t> stat_jobs_{0};
+  std::atomic<std::uint64_t> stat_inline_jobs_{0};
+  std::atomic<std::uint64_t> stat_parallel_jobs_{0};
+  std::atomic<std::uint64_t> stat_chunks_{0};
+  std::atomic<std::uint64_t> stat_wait_us_{0};
 };
 
 /// `fn(i)` for every i in [0, n), statically chunked over `pool`.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/adaptive_stream.hpp"
+#include "obs/obs.hpp"
 
 namespace cyclops::net {
 namespace {
@@ -60,6 +61,62 @@ TEST(AdaptiveStreamTest, DwellPreventsFlapping) {
     controller.step(t, good ? 23.5 : 0.0);
   }
   EXPECT_LE(controller.mode_switches(), 1);
+}
+
+TEST(AdaptiveStreamTest, MinDwellBoundaryIsExact) {
+  // The anti-flap guard is `now - last_switch >= min_dwell`: a switch is
+  // blocked one microsecond before the dwell elapses and fires at exactly
+  // min_dwell.
+  AdaptiveConfig config;
+  config.window = 1000;       // 1 ms window: the EMA reacts within a slot
+  config.min_dwell = 200000;  // 0.2 s
+  AdaptiveStreamController controller(config);
+  obs::Registry registry;
+  controller.set_obs(&registry);
+
+  // Dead link from t=0: the EMA is below the downgrade threshold almost
+  // immediately, so the dwell guard is the only thing holding raw mode.
+  for (util::SimTimeUs t = kSlot; t < 199000; t += kSlot) {
+    EXPECT_EQ(controller.step(t, 0.0), StreamMode::kRaw);
+  }
+  EXPECT_EQ(controller.step(199999, 0.0), StreamMode::kRaw);  // dwell - 1
+  EXPECT_EQ(controller.step(200000, 0.0), StreamMode::kCompressed);
+  EXPECT_EQ(controller.mode_switches(), 1);
+
+  // Same boundary on the way back up: full capacity saturates the EMA
+  // fast, and the upgrade fires exactly one dwell after the downgrade.
+  for (util::SimTimeUs t = 201000; t < 399000; t += kSlot) {
+    EXPECT_EQ(controller.step(t, config.raw_rate_gbps),
+              StreamMode::kCompressed);
+  }
+  EXPECT_EQ(controller.step(399999, config.raw_rate_gbps),
+            StreamMode::kCompressed);
+  EXPECT_EQ(controller.step(400000, config.raw_rate_gbps), StreamMode::kRaw);
+  EXPECT_EQ(controller.mode_switches(), 2);
+
+  // The dwell histograms saw exactly the min-dwell durations (no-op in
+  // OFF builds: set_obs detaches).
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(
+        registry.counter("adaptive_switches_total", {{"to", "compressed"}})
+            .value(),
+        1u);
+    EXPECT_EQ(
+        registry.counter("adaptive_switches_total", {{"to", "raw"}}).value(),
+        1u);
+    EXPECT_DOUBLE_EQ(registry
+                         .histogram("adaptive_mode_dwell_us",
+                                    obs::HistogramSpec::duration_us(),
+                                    {{"mode", "raw"}})
+                         .min(),
+                     200000.0);
+    EXPECT_DOUBLE_EQ(registry
+                         .histogram("adaptive_mode_dwell_us",
+                                    obs::HistogramSpec::duration_us(),
+                                    {{"mode", "compressed"}})
+                         .min(),
+                     200000.0);
+  }
 }
 
 TEST(AdaptiveStreamTest, PartialCapacityCountsProportionally) {

@@ -4,6 +4,7 @@
 
 #include "net/frame_source.hpp"
 #include "net/streamer.hpp"
+#include "obs/obs.hpp"
 #include "util/units.hpp"
 
 namespace cyclops::net {
@@ -152,6 +153,73 @@ TEST(StreamerTest, DeadlineEnforced) {
                            [](util::SimTimeUs) { return 23.5; });
   // ~9.4 ms service > 5 ms deadline: nothing can make it.
   EXPECT_EQ(stats.frames_delivered, 0);
+}
+
+TEST(StreamerTest, DeadlineDropReShowsLastDeliveredFrame) {
+  // The display keeps re-showing the last delivered frame while later
+  // frames miss their deadline: last_delivered_id must not advance on
+  // drops.
+  FrameStreamer streamer({});
+  EXPECT_EQ(streamer.stats().last_delivered_id, -1);
+  streamer.offer(Frame{0, 0, 1e6});
+  streamer.step(0, kSlot, 1.05);  // exactly one frame (incl. overhead)
+  ASSERT_EQ(streamer.stats().frames_delivered, 1);
+  EXPECT_EQ(streamer.stats().last_delivered_id, 0);
+
+  // Two more frames rendered at t=0; by t=30 ms both are past the 22 ms
+  // deadline and the link is down anyway.
+  streamer.offer(Frame{1, 0, 1e6});
+  streamer.offer(Frame{2, 0, 1e6});
+  streamer.step(30000, kSlot, 0.0);
+  EXPECT_EQ(streamer.stats().frames_dropped, 2);
+  EXPECT_EQ(streamer.stats().last_delivered_id, 0);  // still re-shown
+  // A run of two consecutive drops is exactly one freeze event.
+  EXPECT_EQ(streamer.stats().freeze_events, 1);
+  EXPECT_EQ(streamer.stats().longest_freeze_frames, 2);
+}
+
+TEST(StreamerTest, LinkOffBurstDropsFifoAndResumesInOrder) {
+  obs::Registry registry;
+  FrameStreamer streamer({});
+  streamer.set_obs(&registry);
+
+  // Three frames in flight when the link dies; the two oldest expire (in
+  // FIFO order, from the queue front), the newest survives the outage.
+  streamer.offer(Frame{0, 0, 1e6});
+  streamer.offer(Frame{1, 5000, 1e6});
+  streamer.offer(Frame{2, 40000, 1e6});
+  streamer.step(30000, kSlot, 0.0);
+  EXPECT_EQ(streamer.stats().frames_dropped, 2);
+  EXPECT_EQ(streamer.queue_depth(), 1u);
+
+  // Link restored: the surviving frame delivers, then a later one — ids
+  // stay strictly increasing across the outage.
+  streamer.step(41000, kSlot, 2.1);
+  EXPECT_EQ(streamer.stats().last_delivered_id, 2);
+  streamer.offer(Frame{3, 50000, 1e6});
+  streamer.step(51000, kSlot, 2.1);
+  EXPECT_EQ(streamer.stats().last_delivered_id, 3);
+  EXPECT_EQ(streamer.stats().frames_delivered, 2);
+  EXPECT_EQ(streamer.stats().freeze_events, 1);
+
+  // The obs counters mirror the legacy stats struct exactly (in OFF
+  // builds set_obs is a no-op and nothing is recorded).
+  if constexpr (obs::kEnabled) {
+    const StreamStats& stats = streamer.stats();
+    EXPECT_EQ(registry.counter("stream_frames_offered_total").value(),
+              static_cast<std::uint64_t>(stats.frames_offered));
+    EXPECT_EQ(registry.counter("stream_frames_delivered_total").value(),
+              static_cast<std::uint64_t>(stats.frames_delivered));
+    EXPECT_EQ(registry.counter("stream_frames_dropped_total").value(),
+              static_cast<std::uint64_t>(stats.frames_dropped));
+    EXPECT_EQ(registry.counter("stream_freezes_total").value(),
+              static_cast<std::uint64_t>(stats.freeze_events));
+    EXPECT_EQ(registry
+                  .histogram("stream_delivery_latency_us",
+                             obs::HistogramSpec::duration_us())
+                  .count(),
+              static_cast<std::uint64_t>(stats.frames_delivered));
+  }
 }
 
 TEST(StreamerTest, QueueDrainsInOrder) {

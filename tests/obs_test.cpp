@@ -1,0 +1,393 @@
+// Tests for the telemetry subsystem (src/obs): metric primitives and
+// merge semantics, histogram bucket math, registry label handling, the
+// Prometheus/JSONL exporters (byte-stable round-trips), sharded-registry
+// determinism across thread counts on the §5.4 evaluator, instrumentation
+// transparency (sim outputs unchanged with/without a registry), and the
+// EventCounter rebase onto obs primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "event/obs_hook.hpp"
+#include "event/process.hpp"
+#include "event/scheduler.hpp"
+#include "event/trace_hook.hpp"
+#include "link/slot_eval.hpp"
+#include "motion/trace.hpp"
+#include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cyclops {
+namespace {
+
+// ---- Counter / Gauge ----
+
+TEST(ObsCounterTest, IncrementsAndMerges) {
+  obs::Counter a, b;
+  a.inc();
+  a.inc(41);
+  b.inc(100);
+  EXPECT_EQ(a.value(), 42u);
+  a.merge_from(b);
+  EXPECT_EQ(a.value(), 142u);
+  EXPECT_EQ(b.value(), 100u);  // merge does not consume the source
+}
+
+TEST(ObsGaugeTest, MergeKeepsOtherOnlyWhenEverSet) {
+  obs::Gauge set_once, never_set, target;
+  set_once.set(3.5);
+  target.set(1.0);
+  target.merge_from(never_set);  // no-op: the source never wrote
+  EXPECT_DOUBLE_EQ(target.value(), 1.0);
+  target.merge_from(set_once);
+  EXPECT_DOUBLE_EQ(target.value(), 3.5);
+  EXPECT_FALSE(never_set.ever_set());
+  EXPECT_TRUE(target.ever_set());
+}
+
+// ---- HistogramSpec ----
+
+TEST(ObsHistogramSpecTest, LogScaleEdges) {
+  const obs::HistogramSpec spec = obs::HistogramSpec::log_scale(1.0, 1e3, 5);
+  // 5 buckets per decade over 3 decades: edges 10^0, 10^0.2, ..., 10^3.
+  ASSERT_EQ(spec.bounds.size(), 16u);
+  EXPECT_DOUBLE_EQ(spec.bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(spec.bounds[5], 10.0);    // exact at decade boundaries
+  EXPECT_DOUBLE_EQ(spec.bounds[10], 100.0);
+  EXPECT_DOUBLE_EQ(spec.bounds.back(), 1000.0);
+  for (std::size_t i = 1; i < spec.bounds.size(); ++i) {
+    EXPECT_LT(spec.bounds[i - 1], spec.bounds[i]);
+  }
+}
+
+TEST(ObsHistogramSpecTest, LinearEdgesMapIntegersToOwnBuckets) {
+  // The EventCounter layout: edges -0.5+i so bucket_index(t) == t exactly
+  // for integer t.
+  const obs::HistogramSpec spec = obs::HistogramSpec::linear(-0.5, 1.0, 8);
+  obs::Histogram h(spec);
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(h.bucket_index(static_cast<double>(t)),
+              static_cast<std::size_t>(t));
+  }
+  EXPECT_EQ(h.bucket_index(8.0), 8u);  // overflow bucket
+}
+
+// ---- Histogram ----
+
+TEST(ObsHistogramTest, RecordCountExtremaAndOverflow) {
+  obs::Histogram h(obs::HistogramSpec::linear(0.0, 10.0, 3));  // 10,20,30
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isinf(h.min()));
+  EXPECT_TRUE(std::isinf(h.max()));
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.5), 0.0);  // empty -> 0
+
+  h.record(5.0);    // bucket 0 (le 10)
+  h.record(10.0);   // bucket 0: bounds are inclusive upper edges
+  h.record(10.5);   // bucket 1
+  h.record(1e9);    // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  // approx_sum uses upper edges, overflow clamped to the last finite edge:
+  // 10 + 10 + 20 + 30.
+  EXPECT_DOUBLE_EQ(h.approx_sum(), 70.0);
+  EXPECT_DOUBLE_EQ(h.approx_mean(), 17.5);
+}
+
+TEST(ObsHistogramTest, QuantilesUseNearestRank) {
+  obs::Histogram h(obs::HistogramSpec::linear(0.0, 1.0, 10));
+  for (int i = 0; i < 100; ++i) h.record(i * 0.1);  // ~10 per bucket
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.0), 1.0);   // rank clamps to 1
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(1.0), 10.0);
+}
+
+TEST(ObsHistogramTest, MergePreservesBucketsAndExtrema) {
+  const obs::HistogramSpec spec = obs::HistogramSpec::linear(0.0, 1.0, 4);
+  obs::Histogram a(spec), b(spec);
+  a.record(0.5);
+  a.record(3.5);
+  b.record(2.5);
+  b.record(100.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.bucket(3), 1u);
+  EXPECT_EQ(a.bucket(4), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+// ---- Spans ----
+
+TEST(ObsSpanTest, SimSpanRecordsOnceAndNullIsNoop) {
+  obs::Histogram h(obs::HistogramSpec::duration_us());
+  obs::SimSpan span(&h, 1000);
+  EXPECT_TRUE(span.open());
+  span.end(4000);
+  span.end(9000);  // second end is a no-op
+  EXPECT_FALSE(span.open());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3000.0);
+
+  obs::SimSpan null_span(nullptr, 0);
+  null_span.end(123);  // must not crash
+  { obs::WallSpan null_wall(nullptr); }
+}
+
+TEST(ObsSpanTest, TracerBindsRegistryHistograms) {
+  obs::Registry registry;
+  obs::Tracer tracer(&registry);
+  { obs::WallSpan span = tracer.wall("op_wall_us"); }
+  obs::SimSpan sim = tracer.sim("op_sim_us", 100);
+  sim.end(600);
+  EXPECT_EQ(registry.histogram("op_wall_us", obs::HistogramSpec::duration_us())
+                .count(),
+            1u);
+  EXPECT_DOUBLE_EQ(
+      registry.histogram("op_sim_us", obs::HistogramSpec::duration_us()).min(),
+      500.0);
+
+  obs::Tracer detached(nullptr);  // null registry -> no-op spans
+  detached.sim("x", 0).end(10);
+  { obs::WallSpan span = detached.wall("y"); }
+}
+
+// ---- Registry ----
+
+TEST(ObsRegistryTest, GetOrCreateByNameAndLabels) {
+  obs::Registry registry;
+  EXPECT_TRUE(registry.empty());
+  obs::Counter& a = registry.counter("hits_total", {{"plane", "eval"}});
+  obs::Counter& b = registry.counter("hits_total", {{"plane", "session"}});
+  obs::Counter& a2 = registry.counter("hits_total", {{"plane", "eval"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a2);  // same key -> same metric
+  a.inc(3);
+  EXPECT_FALSE(registry.empty());
+
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  // Sorted by (name, labels): eval before session.
+  EXPECT_EQ(counters[0].first.labels.at("plane"), "eval");
+  EXPECT_EQ(counters[0].second->value(), 3u);
+}
+
+TEST(ObsRegistryTest, MergeCreatesAndAccumulates) {
+  obs::Registry a, b;
+  a.counter("n").inc(1);
+  b.counter("n").inc(10);
+  b.gauge("g").set(7.0);
+  b.histogram("h", obs::HistogramSpec::linear(0.0, 1.0, 2)).record(0.5);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("n").value(), 11u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 7.0);
+  EXPECT_EQ(a.histogram("h", obs::HistogramSpec::linear(0.0, 1.0, 2)).count(),
+            1u);
+}
+
+TEST(ObsRegistryTest, RecordThreadPoolSnapshotsStats) {
+  util::ThreadPool pool(2);
+  pool.run_chunked(100, [](std::size_t, std::size_t, std::size_t) {});
+  obs::Registry registry;
+  obs::record_thread_pool(registry, pool);
+  EXPECT_GE(registry.counter("pool_jobs_total").value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("pool_threads").value(), 2.0);
+}
+
+// ---- Exporters ----
+
+obs::Registry& fill_sample(obs::Registry& registry) {
+  registry.counter("requests_total", {{"plane", "eval"}}).inc(7);
+  registry.counter("requests_total", {{"plane", "session"}}).inc(9);
+  registry.counter("drops_total").inc(0);
+  registry.gauge("threads").set(8.0);
+  obs::Histogram& h = registry.histogram(
+      "latency_us", obs::HistogramSpec::log_scale(1.0, 1e3, 5),
+      {{"op", "realign\"n\\"}});  // labels with escapable characters
+  h.record(0.5);
+  h.record(12.0);
+  h.record(5e6);  // overflow
+  registry.histogram("empty_us", obs::HistogramSpec::linear(0.0, 1.0, 2));
+  return registry;
+}
+
+TEST(ObsExportTest, PrometheusRoundTripIsByteStable) {
+  obs::Registry registry;
+  const std::string text = obs::to_prometheus(fill_sample(registry));
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+  // One # TYPE header per family even with several label sets.
+  std::size_t type_headers = 0, pos = 0;
+  while ((pos = text.find("# TYPE requests_total", pos)) != std::string::npos) {
+    ++type_headers;
+    ++pos;
+  }
+  EXPECT_EQ(type_headers, 1u);
+
+  obs::Registry imported;
+  ASSERT_TRUE(obs::from_prometheus(text, imported));
+  // Everything the format can carry survives: re-export is byte-identical.
+  EXPECT_EQ(obs::to_prometheus(imported), text);
+}
+
+TEST(ObsExportTest, JsonlRoundTripIsByteStable) {
+  obs::Registry registry;
+  const std::string text = obs::to_jsonl(fill_sample(registry));
+  obs::Registry imported;
+  ASSERT_TRUE(obs::from_jsonl(text, imported));
+  EXPECT_EQ(obs::to_jsonl(imported), text);
+  // JSONL keeps the exact extrema (Prometheus cannot).
+  const obs::Histogram& h = imported.histogram(
+      "latency_us", obs::HistogramSpec::log_scale(1.0, 1e3, 5),
+      {{"op", "realign\"n\\"}});
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 5e6);
+}
+
+TEST(ObsExportTest, ParsersFailClosedOnGarbage) {
+  obs::Registry registry;
+  EXPECT_FALSE(obs::from_prometheus("not a metric line\n", registry));
+  EXPECT_FALSE(obs::from_prometheus("unknown_kind_metric 3\n", registry));
+  EXPECT_FALSE(obs::from_jsonl("{\"kind\":\"widget\",\"name\":\"x\"}\n",
+                               registry));
+  EXPECT_FALSE(obs::from_jsonl("truncated\n", registry));
+  EXPECT_TRUE(obs::from_jsonl("", registry));  // empty input is fine
+}
+
+// ---- Determinism + transparency on the §5.4 evaluator ----
+
+motion::Trace drifting_trace(double mps) {
+  motion::Trace trace;
+  for (int i = 0; i <= 200; ++i) {
+    const double t_s = i * 0.01;
+    trace.samples.push_back(
+        {static_cast<util::SimTimeUs>(t_s * 1e6),
+         geom::Pose{geom::Mat3::identity(), {mps * t_s, 0.0, 0.0}}});
+  }
+  return trace;
+}
+
+TEST(ObsDeterminismTest, EvalMetricsBitIdenticalAcrossThreadCounts) {
+  std::vector<motion::Trace> traces;
+  for (int i = 0; i < 9; ++i) traces.push_back(drifting_trace(0.04 * i));
+  const link::SlotEvalConfig config;
+
+  obs::Registry baseline;
+  link::evaluate_dataset(traces, config, util::ThreadPool::serial(),
+                         &baseline);
+  const std::string expected = obs::to_jsonl(baseline);
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(baseline.counter("eval_traces_total").value(), 0u);
+    EXPECT_GT(baseline.counter("eval_bisect_iters_total").value(), 0u);
+  } else {
+    // OFF builds null the registry before the hot loop: nothing recorded,
+    // and the byte-equality below degenerates to empty == empty.
+    EXPECT_TRUE(baseline.empty());
+  }
+
+  for (std::size_t threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    obs::Registry registry;
+    link::evaluate_dataset(traces, config, pool, &registry);
+    // Byte-equal JSONL covers every counter, bucket, and extremum.
+    EXPECT_EQ(obs::to_jsonl(registry), expected) << threads << " threads";
+  }
+}
+
+TEST(ObsDeterminismTest, InstrumentationDoesNotChangeSimOutput) {
+  std::vector<motion::Trace> traces;
+  for (int i = 0; i < 5; ++i) traces.push_back(drifting_trace(0.05 * i));
+  const link::SlotEvalConfig config;
+
+  const link::DatasetEvalResult plain =
+      link::evaluate_dataset(traces, config, util::ThreadPool::serial());
+  obs::Registry registry;
+  const link::DatasetEvalResult observed = link::evaluate_dataset(
+      traces, config, util::ThreadPool::serial(), &registry);
+
+  EXPECT_EQ(observed.per_trace_off_fraction, plain.per_trace_off_fraction);
+  EXPECT_EQ(observed.pooled.total_slots, plain.pooled.total_slots);
+  EXPECT_EQ(observed.pooled.off_slots, plain.pooled.off_slots);
+  EXPECT_EQ(observed.pooled.off_per_dirty_frame,
+            plain.pooled.off_per_dirty_frame);
+  EXPECT_EQ(observed.events, plain.events);
+}
+
+// ---- EventCounter rebase + MetricsHook ----
+
+class NullProcess final : public event::Process {
+ public:
+  void handle(event::Scheduler&, const event::Event&) override {}
+};
+
+TEST(ObsEventCounterTest, MatchesLegacyMapSemantics) {
+  event::Scheduler sched;
+  event::EventCounter counter;
+  sched.add_hook(&counter);
+  NullProcess process;
+  const event::ProcessId target = sched.add_process(&process);
+
+  // The legacy tally this class replaced: a std::map<EventType, uint64>
+  // bumped per dispatch.  Replay the same traffic into both.
+  std::map<event::EventType, std::uint64_t> legacy;
+  const event::EventType types[] = {3, 1, 3, 7, 3, 1};
+  for (const event::EventType type : types) {
+    event::Event ev;
+    ev.time = sched.now() + 10;
+    ev.type = type;
+    ev.target = target;
+    sched.schedule(ev);
+    ++legacy[type];
+  }
+  event::Event cancelled_ev;
+  cancelled_ev.time = sched.now() + 5;
+  cancelled_ev.type = 9;
+  cancelled_ev.target = target;
+  const event::Timer timer = sched.schedule(cancelled_ev);
+  sched.cancel(timer);
+  sched.run();
+
+  EXPECT_EQ(counter.scheduled(), 7u);
+  EXPECT_EQ(counter.cancelled(), 1u);
+  EXPECT_EQ(counter.dispatched(), 6u);
+  EXPECT_EQ(counter.histogram(), legacy);  // same shape, same counts
+  EXPECT_EQ(counter.dispatched(3), 3u);
+  EXPECT_EQ(counter.dispatched(9), 0u);  // cancelled, never dispatched
+  EXPECT_EQ(counter.dispatched(event::EventCounter::kMaxTypes + 5), 0u);
+}
+
+TEST(ObsMetricsHookTest, CountsSchedulerTrafficPerPlane) {
+  obs::Registry registry;
+  event::Scheduler sched;
+  event::MetricsHook hook(registry, "test_plane");
+  sched.add_hook(&hook);
+  NullProcess process;
+  const event::ProcessId target = sched.add_process(&process);
+
+  for (int i = 0; i < 4; ++i) {
+    event::Event ev;
+    ev.time = sched.now() + i;
+    ev.target = target;
+    sched.schedule(ev);
+  }
+  sched.run();
+
+  const obs::Labels plane{{"plane", "test_plane"}};
+  EXPECT_EQ(registry.counter("events_scheduled_total", plane).value(), 4u);
+  EXPECT_EQ(registry.counter("events_dispatched_total", plane).value(), 4u);
+  EXPECT_EQ(registry.counter("events_cancelled_total", plane).value(), 0u);
+}
+
+}  // namespace
+}  // namespace cyclops
