@@ -18,6 +18,7 @@
 #include "net/adaptive_stream.hpp"
 #include "net/streamer.hpp"
 #include "obs/obs.hpp"
+#include "runtime/context.hpp"
 #include "util/units.hpp"
 
 using namespace cyclops;
@@ -25,11 +26,18 @@ using namespace cyclops;
 int main() {
   std::printf("== VR session over the 25G Cyclops link ==\n\n");
 
+  // One context for the whole session: the global pool for speed, but a
+  // session-local registry — every layer below records into it through
+  // the context, and the report ends with the Prometheus text view
+  // (README quickstart).
+  obs::Registry registry;
+  runtime::Context ctx(util::ThreadPool::global(), registry);
+
   // Hardware + calibration.
   sim::Prototype proto = sim::make_prototype(42, sim::prototype_25g_config());
   util::Rng rng(5);
   const core::CalibrationResult calib =
-      core::calibrate_prototype(proto, core::CalibrationConfig{}, rng);
+      core::calibrate_prototype(proto, core::CalibrationConfig{}, rng, ctx);
   std::printf("calibrated: stage-2 residual %.1f mm over %zu tuples\n",
               util::m_to_mm(calib.mapping.avg_coincidence_m),
               calib.stage2_samples.size());
@@ -50,24 +58,18 @@ int main() {
       0.85 * proto.scene.config().sfp.goodput_gbps;
   source_config.size_jitter = 0.03;
   net::FrameSource source(source_config, util::Rng(17));
-  net::FrameStreamer streamer(net::StreamerConfig{});
-
-  // One registry for the whole session; every layer below records into it
-  // and the report ends with the Prometheus text view (README quickstart).
-  obs::Registry registry;
-  streamer.set_obs(&registry);
+  net::FrameStreamer streamer(net::StreamerConfig{}, ctx);
   std::printf("stream: %.0f fps, %.1f Gbps raw (%.0f Mbit/frame)\n\n",
               source_config.fps, source_config.stream_rate_gbps,
               source_config.mean_frame_bits() / 1e6);
 
   // Closed loop with the streamer, the adaptive-mode controller, and the
   // session log all riding the per-slot callback.
-  core::TpController controller(calib.make_pointing_solver(),
+  core::TpController controller(calib.make_pointing_solver({}, ctx),
                                 core::TpConfig{});
   net::AdaptiveConfig adaptive_config;
   adaptive_config.raw_rate_gbps = source_config.stream_rate_gbps;
-  net::AdaptiveStreamController adaptive(adaptive_config);
-  adaptive.set_obs(&registry);
+  net::AdaptiveStreamController adaptive(adaptive_config, ctx);
   link::SessionLog log;
 
   link::SimOptions options;
@@ -82,7 +84,7 @@ int main() {
 
   link::EventSessionStats engine_stats;
   const link::RunResult run = link::run_link_session_events(
-      proto, controller, profile, options, &log, &engine_stats, &registry);
+      proto, controller, profile, ctx, options, &log, &engine_stats);
   log.finish(run);
 
   // ---- report ----
@@ -122,10 +124,9 @@ int main() {
               log.count(link::SessionEventKind::kLinkDown),
               log.longest_outage_s());
 
-  // Fold in the solver tallies (G'/LM live in the process-wide registry)
-  // and the thread-pool dispatch stats, then dump everything.
-  registry.merge_from(obs::Registry::global());
-  obs::record_thread_pool(registry, util::ThreadPool::global());
+  // The solver tallies (G'/LM) already live in the context's registry —
+  // no global-registry fold needed; add the pool dispatch stats and dump.
+  obs::record_thread_pool(registry, ctx.pool());
   std::printf("\n== telemetry (Prometheus text exposition) ==\n%s",
               obs::to_prometheus(registry).c_str());
   return 0;

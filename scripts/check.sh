@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The full local gate, three presets back to back:
+#   1. release      — configure, build, and run the whole suite
+#                     (fast + ctx + slow labels).
+#   2. tsan-fast    — ThreadSanitizer over the quick gate plus the
+#                     context/concurrency isolation tests (fast|ctx).
+#   3. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
+#                     proving the telemetry compile-out keeps everything
+#                     green.
+# Any failure stops the script (set -e); a clean exit means all three
+# gates passed.  Run from the repository root:  ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/3] release: configure + build + full test suite =="
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== [2/3] tsan-fast: ThreadSanitizer, fast + ctx labels =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan-fast
+
+echo "== [3/3] obs-off-fast: telemetry compiled out, fast + ctx labels =="
+cmake --preset obs-off
+cmake --build --preset obs-off -j "$(nproc)"
+ctest --preset obs-off-fast
+
+echo "== all gates passed =="

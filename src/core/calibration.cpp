@@ -31,25 +31,26 @@ geom::Pose random_rig_pose(const geom::Pose& nominal, double position_extent,
 
 CalibrationResult calibrate_prototype(sim::Prototype& proto,
                                       const CalibrationConfig& config,
-                                      util::Rng& rng) {
+                                      util::Rng& rng,
+                                      const runtime::Context& ctx) {
   const galvo::GalvoSpec spec = galvo::gvs102_spec();
   const GmaModel guess = nominal_kspace_guess(proto.config.board_distance);
 
   // ---- Stage 1: each GMA on the board rig. ----
   const galvo::GalvoMirror tx_galvo(proto.tx_galvo_truth, spec);
   const auto tx_samples = collect_board_samples(
-      tx_galvo, proto.k_from_tx_gma, config.board, rng);
+      tx_galvo, proto.k_from_tx_gma, config.board, rng, ctx);
   KSpaceFitReport tx_stage1 =
-      fit_kspace_model(tx_samples, guess, config.stage1_options);
+      fit_kspace_model(tx_samples, guess, config.stage1_options, ctx);
 
   const galvo::GalvoMirror rx_galvo(proto.rx_galvo_truth, spec);
   const auto rx_samples = collect_board_samples(
-      rx_galvo, proto.k_from_rx_gma, config.board, rng);
+      rx_galvo, proto.k_from_rx_gma, config.board, rng, ctx);
   KSpaceFitReport rx_stage1 =
-      fit_kspace_model(rx_samples, guess, config.stage1_options);
+      fit_kspace_model(rx_samples, guess, config.stage1_options, ctx);
 
   // ---- Stage 2: aligned-link tuples in the deployed scene. ----
-  ExhaustiveAligner aligner(config.aligner);
+  ExhaustiveAligner aligner(config.aligner, ctx);
   std::vector<AlignedSample> tuples;
   tuples.reserve(static_cast<std::size_t>(config.stage2_samples));
   sim::Voltages hint{};
@@ -77,9 +78,9 @@ CalibrationResult calibrate_prototype(sim::Prototype& proto,
   MappingFitReport mapping =
       config.blind_stage2
           ? fit_mapping_blind(tx_stage1.model, rx_stage1.model, tuples, rng,
-                              config.stage2_options)
+                              config.stage2_options, ctx)
           : fit_mapping(tx_stage1.model, rx_stage1.model, tuples, tx_guess,
-                        rx_guess, config.stage2_options);
+                        rx_guess, config.stage2_options, ctx);
   // Multi-start: the 12-parameter landscape has local optima; when the
   // residual looks poor, retry from jittered guesses and keep the best.
   for (int attempt = 0;
@@ -92,7 +93,7 @@ CalibrationResult calibrate_prototype(sim::Prototype& proto,
                                      config.guess_angle_sigma);
     MappingFitReport candidate =
         fit_mapping(tx_stage1.model, rx_stage1.model, tuples, tx_retry,
-                    rx_retry, config.stage2_options);
+                    rx_retry, config.stage2_options, ctx);
     if (candidate.avg_coincidence_m < mapping.avg_coincidence_m) {
       mapping = std::move(candidate);
     }

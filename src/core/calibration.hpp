@@ -41,9 +41,12 @@ struct CalibrationResult {
   MappingFitReport mapping;
   std::vector<AlignedSample> stage2_samples;
 
-  PointingSolver make_pointing_solver(PointingOptions options = {}) const {
+  /// `ctx` routes the solver's G' telemetry (default: shared registry).
+  PointingSolver make_pointing_solver(
+      PointingOptions options = {},
+      const runtime::Context& ctx = runtime::Context::default_ctx()) const {
     return PointingSolver(tx_stage1.model, rx_stage1.model, mapping.map_tx,
-                          mapping.map_rx, options);
+                          mapping.map_rx, options, ctx);
   }
 };
 
@@ -52,9 +55,12 @@ geom::Pose random_rig_pose(const geom::Pose& nominal, double position_extent,
                            double angle_extent, util::Rng& rng);
 
 /// Runs the full pipeline on a prototype.  Leaves the scene at the
-/// nominal rig pose.  Deterministic given `rng`.
-CalibrationResult calibrate_prototype(sim::Prototype& proto,
-                                      const CalibrationConfig& config,
-                                      util::Rng& rng);
+/// nominal rig pose.  Deterministic given `rng`.  Every optimizer and
+/// aligner inside runs on `ctx` — pool for the fan-out, registry for the
+/// `lm_*` telemetry; the default context reproduces the old
+/// global-pool/global-registry behavior.
+CalibrationResult calibrate_prototype(
+    sim::Prototype& proto, const CalibrationConfig& config, util::Rng& rng,
+    const runtime::Context& ctx = runtime::Context::default_ctx());
 
 }  // namespace cyclops::core

@@ -20,7 +20,8 @@ namespace {
 template <typename ScoreFn>
 std::pair<double, double> raster(double a0, double b0, double half_extent,
                                  double step, int& evals,
-                                 const ScoreFn& score) {
+                                 const ScoreFn& score,
+                                 util::ThreadPool& pool) {
   std::vector<double> as, bs;
   for (double a = a0 - half_extent; a <= a0 + half_extent; a += step) {
     as.push_back(a);
@@ -38,17 +39,20 @@ std::pair<double, double> raster(double a0, double b0, double half_extent,
     double b = 0.0;
   };
   std::vector<RowBest> rows(as.size());
-  util::parallel_for(as.size(), [&](std::size_t i) {
-    RowBest row;
-    for (double b : bs) {
-      const double s = score(as[i], b);
-      if (s > row.score) {
-        row.score = s;
-        row.b = b;
-      }
-    }
-    rows[i] = row;
-  });
+  util::parallel_for(
+      as.size(),
+      [&](std::size_t i) {
+        RowBest row;
+        for (double b : bs) {
+          const double s = score(as[i], b);
+          if (s > row.score) {
+            row.score = s;
+            row.b = b;
+          }
+        }
+        rows[i] = row;
+      },
+      pool);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (rows[i].score > best) {
       best = rows[i].score;
@@ -71,7 +75,9 @@ AlignResult ExhaustiveAligner::align(const sim::Scene& scene,
     AlignerOptions wide = options_;
     wide.tx_scan_half_extent = std::max(options_.tx_scan_half_extent, 6.0);
     wide.rx_scan_half_extent = std::max(options_.rx_scan_half_extent, 6.0);
-    AlignResult retry = ExhaustiveAligner(wide).align_once(scene, {});
+    ExhaustiveAligner wide_aligner(wide);
+    wide_aligner.pool_ = pool_;  // retry on the same pool, not the global
+    AlignResult retry = wide_aligner.align_once(scene, {});
     retry.evaluations += result.evaluations;
     if (retry.power_dbm > result.power_dbm) result = retry;
   }
@@ -100,7 +106,7 @@ AlignResult ExhaustiveAligner::align_once(const sim::Scene& scene,
   };
   std::tie(v.tx1, v.tx2) =
       raster(v.tx1, v.tx2, options_.tx_scan_half_extent, options_.tx_scan_step,
-             result.evaluations, diode_sum);
+             result.evaluations, diode_sum, *pool_);
 
   // Phase B: sweep the RX GM until fiber power appears.
   const auto fiber_power_rx = [&](double r1, double r2) {
@@ -111,7 +117,7 @@ AlignResult ExhaustiveAligner::align_once(const sim::Scene& scene,
   };
   std::tie(v.rx1, v.rx2) =
       raster(v.rx1, v.rx2, options_.rx_scan_half_extent, options_.rx_scan_step,
-             result.evaluations, fiber_power_rx);
+             result.evaluations, fiber_power_rx, *pool_);
 
   // Phase C: joint polish — a 4-D Nelder-Mead on received power.
   for (int round = 0; round < options_.refine_rounds; ++round) {

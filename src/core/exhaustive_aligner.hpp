@@ -9,7 +9,9 @@
 #pragma once
 
 #include "opt/nelder_mead.hpp"
+#include "runtime/context.hpp"
 #include "sim/scene.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cyclops::core {
 
@@ -36,8 +38,12 @@ struct AlignResult {
 
 class ExhaustiveAligner {
  public:
-  explicit ExhaustiveAligner(AlignerOptions options = {})
-      : options_(options) {}
+  /// Raster rows fan out over `ctx.pool()` (results are bit-identical at
+  /// any thread count, so which pool is purely a scheduling choice).
+  explicit ExhaustiveAligner(
+      AlignerOptions options = {},
+      const runtime::Context& ctx = runtime::Context::default_ctx())
+      : options_(options), pool_(&ctx.pool()) {}
 
   /// Aligns the link at the scene's current rig pose, starting the search
   /// from `hint` (e.g. the previously aligned voltages).  Falls back to a
@@ -50,6 +56,7 @@ class ExhaustiveAligner {
                          const sim::Voltages& hint) const;
 
   AlignerOptions options_;
+  util::ThreadPool* pool_;
 };
 
 }  // namespace cyclops::core

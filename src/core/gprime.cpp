@@ -16,33 +16,41 @@ std::optional<geom::Vec3> hit_on_plane(const std::optional<geom::Ray>& ray,
   return ray->at(*t);
 }
 
-/// G' convergence tallies in the process-wide registry (same pattern as
-/// the LM metrics in opt/levmar.cpp); records on every exit path.
+/// Records G' convergence tallies through the solver's hoisted handles on
+/// every exit path (null handles — telemetry compiled out — record
+/// nothing).
 struct GPrimeRecorder {
   const GPrimeResult& result;
+  obs::Counter* solves;
+  obs::Counter* converged;
+  obs::Histogram* iterations;
 
   ~GPrimeRecorder() {
-    if constexpr (obs::kEnabled) {
-      static obs::Counter& solves =
-          obs::Registry::global().counter("gprime_solves_total");
-      static obs::Counter& converged =
-          obs::Registry::global().counter("gprime_converged_total");
-      static obs::Histogram& iterations = obs::Registry::global().histogram(
-          "gprime_iterations", obs::HistogramSpec::linear(-0.5, 1.0, 16));
-      solves.inc();
-      if (result.converged) converged.inc();
-      iterations.record(static_cast<double>(result.iterations));
-    }
+    if (solves == nullptr) return;
+    solves->inc();
+    if (result.converged) converged->inc();
+    iterations->record(static_cast<double>(result.iterations));
   }
 };
 
 }  // namespace
 
+GPrimeSolver::GPrimeSolver(GPrimeOptions options, const runtime::Context& ctx)
+    : options_(options) {
+  if constexpr (obs::kEnabled) {
+    obs::Registry& registry = ctx.registry();
+    solves_ = &registry.counter("gprime_solves_total");
+    converged_ = &registry.counter("gprime_converged_total");
+    iterations_ = &registry.histogram(
+        "gprime_iterations", obs::HistogramSpec::linear(-0.5, 1.0, 16));
+  }
+}
+
 GPrimeResult GPrimeSolver::solve(const GmaModel& model,
                                  const geom::Vec3& target, double v1_init,
                                  double v2_init) const {
   GPrimeResult result;
-  const GPrimeRecorder recorder{result};
+  const GPrimeRecorder recorder{result, solves_, converged_, iterations_};
   result.v1 = v1_init;
   result.v2 = v2_init;
 

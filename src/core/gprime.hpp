@@ -11,6 +11,8 @@
 
 #include "core/gma_model.hpp"
 #include "geom/vec3.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/context.hpp"
 
 namespace cyclops::core {
 
@@ -33,7 +35,13 @@ struct GPrimeResult {
 
 class GPrimeSolver {
  public:
-  explicit GPrimeSolver(GPrimeOptions options = {}) : options_(options) {}
+  /// Convergence tallies (`gprime_*`) are hoisted once from
+  /// `ctx.registry()` — the default context lands them in the shared
+  /// registry exactly as before; a session context keeps them private to
+  /// that session.  The registry must outlive the solver.
+  explicit GPrimeSolver(
+      GPrimeOptions options = {},
+      const runtime::Context& ctx = runtime::Context::default_ctx());
 
   /// Solves for the voltages aiming `model`'s beam through `target`,
   /// starting from (v1_init, v2_init).
@@ -44,6 +52,11 @@ class GPrimeSolver {
 
  private:
   GPrimeOptions options_;
+  // Metric handles (null when telemetry is compiled out); registry-owned,
+  // so plain pointers keep the solver copyable.
+  obs::Counter* solves_ = nullptr;
+  obs::Counter* converged_ = nullptr;
+  obs::Histogram* iterations_ = nullptr;
 };
 
 }  // namespace cyclops::core

@@ -24,13 +24,13 @@ std::optional<geom::Vec3> board_hit(const GmaModel& model, double v1,
 
 std::vector<BoardSample> collect_board_samples(
     const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
-    const BoardConfig& config, util::Rng& rng) {
+    const BoardConfig& config, util::Rng& rng, const runtime::Context& ctx) {
   // The physical unit, as a geometric model in the board (K) frame.  This
   // stands in for the experimenter's closed visual loop: they can steer the
   // real beam onto a real grid point without knowing any parameters.
   const GmaModel truth_in_k =
       GmaModel(physical_galvo.params()).transformed(k_from_gma);
-  const GPrimeSolver solver;
+  const GPrimeSolver solver(GPrimeOptions{}, ctx);
 
   std::vector<BoardSample> samples;
   double v1 = 0.0, v2 = 0.0;  // warm start from the previous grid point
@@ -68,7 +68,8 @@ double board_error(const GmaModel& model, const BoardSample& sample) {
 
 KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
                                  const GmaModel& initial_guess,
-                                 const opt::LevMarOptions& options) {
+                                 const opt::LevMarOptions& options,
+                                 const runtime::Context& ctx) {
   const auto residual_fn = [&samples](std::span<const double> params,
                                       std::vector<double>& residuals) {
     std::array<double, galvo::GalvoParams::kParamCount> packed{};
@@ -88,7 +89,7 @@ KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
 
   const auto packed = initial_guess.params().pack();
   const auto fit = opt::levenberg_marquardt(
-      residual_fn, {packed.begin(), packed.end()}, options);
+      residual_fn, {packed.begin(), packed.end()}, options, ctx);
 
   std::array<double, galvo::GalvoParams::kParamCount> out{};
   std::copy(fit.params.begin(), fit.params.end(), out.begin());

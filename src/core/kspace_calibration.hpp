@@ -39,10 +39,12 @@ struct BoardConfig {
 
 /// Emulates the lab data collection against the *physical* galvo mounted
 /// at `k_from_gma` in the board rig.  Only interior grid points are used
-/// (19 x 14 = 266 for the default board).
+/// (19 x 14 = 266 for the default board).  The internal G' solves tally
+/// into `ctx.registry()`.
 std::vector<BoardSample> collect_board_samples(
     const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
-    const BoardConfig& config, util::Rng& rng);
+    const BoardConfig& config, util::Rng& rng,
+    const runtime::Context& ctx = runtime::Context::default_ctx());
 
 struct KSpaceFitReport {
   GmaModel model;          ///< Learned model, expressed in K-space.
@@ -57,10 +59,12 @@ struct KSpaceFitReport {
 double board_error(const GmaModel& model, const BoardSample& sample);
 
 /// Fits the 25 GalvoParams to the samples, seeded by `initial_guess`
-/// (nominal CAD geometry placed at the nominal rig pose).
-KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
-                                 const GmaModel& initial_guess,
-                                 const opt::LevMarOptions& options = {});
+/// (nominal CAD geometry placed at the nominal rig pose).  The LM solve
+/// runs on `ctx` (its pool and its registry).
+KSpaceFitReport fit_kspace_model(
+    const std::vector<BoardSample>& samples, const GmaModel& initial_guess,
+    const opt::LevMarOptions& options = {},
+    const runtime::Context& ctx = runtime::Context::default_ctx());
 
 /// The customary initial guess: CAD-nominal galvo at the nominal board-rig
 /// placement (board_distance in front of the board, boresight at center).

@@ -56,7 +56,8 @@ MappingFitReport fit_mapping_blind(const GmaModel& tx_kspace,
                                    const GmaModel& rx_kspace,
                                    const std::vector<AlignedSample>& samples,
                                    util::Rng& rng,
-                                   const opt::LevMarOptions& options) {
+                                   const opt::LevMarOptions& options,
+                                   const runtime::Context& ctx) {
   // Phase A finds M_tx alone using a geometric fact that needs no RX
   // model at all: at alignment, the TX beam passes through the headset,
   // so (in VR-space) the modeled beam must pass within centimeters of
@@ -108,7 +109,7 @@ MappingFitReport fit_mapping_blind(const GmaModel& tx_kspace,
         centroid.z + rng.normal(0.0, 0.5)};
     opt::LevMarOptions lm;
     lm.max_iterations = 60;
-    const auto fit = opt::levenberg_marquardt(tx_residuals, x0, lm);
+    const auto fit = opt::levenberg_marquardt(tx_residuals, x0, lm, ctx);
     if (fit.final_cost < tx_best_value) {
       tx_best_value = fit.final_cost;
       tx_best = fit.params;
@@ -130,7 +131,7 @@ MappingFitReport fit_mapping_blind(const GmaModel& tx_kspace,
     std::array<double, 6> rx_arr{rv.x, rv.y, rv.z, 0.0, 0.0, 0.0};
     const geom::Pose rx_seed = geom::Pose::from_params(rx_arr);
     const MappingFitReport report = fit_mapping(
-        tx_kspace, rx_kspace, samples, tx_seed, rx_seed, options);
+        tx_kspace, rx_kspace, samples, tx_seed, rx_seed, options, ctx);
     if (report.avg_coincidence_m < best_value) {
       best_value = report.avg_coincidence_m;
       best_report = report;
@@ -145,7 +146,8 @@ MappingFitReport fit_mapping(const GmaModel& tx_kspace,
                              const std::vector<AlignedSample>& samples,
                              const geom::Pose& tx_guess,
                              const geom::Pose& rx_guess,
-                             const opt::LevMarOptions& options) {
+                             const opt::LevMarOptions& options,
+                             const runtime::Context& ctx) {
   const auto residual_fn = [&](std::span<const double> params,
                                std::vector<double>& residuals) {
     const auto [map_tx, map_rx] = unpack_maps(params);
@@ -169,7 +171,7 @@ MappingFitReport fit_mapping(const GmaModel& tx_kspace,
 
   const auto packed = pack_maps(tx_guess, rx_guess);
   const auto fit = opt::levenberg_marquardt(
-      residual_fn, {packed.begin(), packed.end()}, options);
+      residual_fn, {packed.begin(), packed.end()}, options, ctx);
 
   const auto [map_tx, map_rx] = unpack_maps(fit.params);
   MappingFitReport report{map_tx, map_rx, 0.0, 0.0, fit.iterations,

@@ -59,22 +59,22 @@ struct MappingFitReport {
 
 /// Fits the 12 mapping parameters.  `tx_guess` / `rx_guess` come from
 /// manual measurement of the deployment (a few cm / few degrees off).
-MappingFitReport fit_mapping(const GmaModel& tx_kspace,
-                             const GmaModel& rx_kspace,
-                             const std::vector<AlignedSample>& samples,
-                             const geom::Pose& tx_guess,
-                             const geom::Pose& rx_guess,
-                             const opt::LevMarOptions& options = {});
+/// The LM solve runs on `ctx` (its pool and its registry).
+MappingFitReport fit_mapping(
+    const GmaModel& tx_kspace, const GmaModel& rx_kspace,
+    const std::vector<AlignedSample>& samples, const geom::Pose& tx_guess,
+    const geom::Pose& rx_guess, const opt::LevMarOptions& options = {},
+    const runtime::Context& ctx = runtime::Context::default_ctx());
 
 /// Blind fit: no manual measurement at all.  Global search (simulated
 /// annealing over the 12 parameters, seeded loosely from the Stage-2
 /// sample geometry) followed by the usual LM polish.  Slower than
 /// fit_mapping but needs zero deployment knowledge — the fully
 /// self-calibrating install.
-MappingFitReport fit_mapping_blind(const GmaModel& tx_kspace,
-                                   const GmaModel& rx_kspace,
-                                   const std::vector<AlignedSample>& samples,
-                                   util::Rng& rng,
-                                   const opt::LevMarOptions& options = {});
+MappingFitReport fit_mapping_blind(
+    const GmaModel& tx_kspace, const GmaModel& rx_kspace,
+    const std::vector<AlignedSample>& samples, util::Rng& rng,
+    const opt::LevMarOptions& options = {},
+    const runtime::Context& ctx = runtime::Context::default_ctx());
 
 }  // namespace cyclops::core

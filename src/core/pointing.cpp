@@ -9,13 +9,14 @@ namespace cyclops::core {
 
 PointingSolver::PointingSolver(GmaModel tx_kspace, GmaModel rx_kspace,
                                geom::Pose map_tx, geom::Pose map_rx,
-                               PointingOptions options)
+                               PointingOptions options,
+                               const runtime::Context& ctx)
     : rx_kspace_(std::move(rx_kspace)),
       tx_vr_(tx_kspace.transformed(map_tx)),
       map_tx_(std::move(map_tx)),
       map_rx_(std::move(map_rx)),
       options_(options),
-      gprime_(options.gprime) {}
+      gprime_(options.gprime, ctx) {}
 
 PointingResult PointingSolver::solve(const geom::Pose& psi,
                                      const sim::Voltages& hint) const {

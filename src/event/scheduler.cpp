@@ -16,7 +16,7 @@ void Scheduler::add_hook(TraceHook* hook) {
 }
 
 Timer Scheduler::schedule(const Event& ev) {
-  assert(ev.time >= clock_.now() && "cannot schedule into the past");
+  assert(ev.time >= clock_->now() && "cannot schedule into the past");
   assert(ev.target < processes_.size() && "event targets no process");
   ++scheduled_;
   for (TraceHook* hook : hooks_) hook->on_schedule(*this, ev);
@@ -25,7 +25,7 @@ Timer Scheduler::schedule(const Event& ev) {
 
 Timer Scheduler::schedule_after(util::SimTimeUs dt, Event ev) {
   assert(dt >= 0);
-  ev.time = clock_.now() + dt;
+  ev.time = clock_->now() + dt;
   return schedule(ev);
 }
 
@@ -36,7 +36,7 @@ bool Scheduler::cancel(const Timer& timer) {
 }
 
 void Scheduler::dispatch(const Event& ev) {
-  clock_.advance(ev.time - clock_.now());
+  clock_->advance(ev.time - clock_->now());
   ++dispatched_;
   for (TraceHook* hook : hooks_) hook->on_dispatch(*this, ev);
   assert(ev.target < processes_.size());
@@ -56,7 +56,7 @@ std::uint64_t Scheduler::run_until(util::SimTimeUs t_end) {
     dispatch(queue_.pop());
     ++n;
   }
-  if (t_end > clock_.now()) clock_.advance(t_end - clock_.now());
+  if (t_end > clock_->now()) clock_->advance(t_end - clock_->now());
   return n;
 }
 

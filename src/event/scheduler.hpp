@@ -31,6 +31,17 @@ class Timer {
 
 class Scheduler {
  public:
+  /// Self-clocked scheduler (the common per-trace case: every parallel
+  /// eval engine owns an independent timeline).
+  Scheduler() noexcept : clock_(&own_clock_) {}
+  /// Rides an external clock — a runtime::Context's session clock, so the
+  /// session timeline outlives this scheduler and other components can
+  /// read the same `now`.  The clock must outlive the scheduler; events
+  /// must respect whatever time it already shows.
+  explicit Scheduler(util::SimClock& clock) noexcept : clock_(&clock) {}
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
   /// Registers a handler (non-owning; the process must outlive the
   /// scheduler).  Returns the id events use as their `target`.
   ProcessId add_process(Process* process);
@@ -59,7 +70,7 @@ class Scheduler {
   /// Dispatches until the queue drains.
   std::uint64_t run();
 
-  util::SimTimeUs now() const noexcept { return clock_.now(); }
+  util::SimTimeUs now() const noexcept { return clock_->now(); }
   bool empty() { return queue_.empty(); }
   std::uint64_t dispatched() const noexcept { return dispatched_; }
   std::uint64_t scheduled() const noexcept { return scheduled_; }
@@ -71,7 +82,8 @@ class Scheduler {
   void dispatch(const Event& ev);
 
   EventQueue queue_;
-  util::SimClock clock_;
+  util::SimClock own_clock_;   // backing storage for the default ctor
+  util::SimClock* clock_;      // the timeline actually advanced
   std::vector<Process*> processes_;
   std::vector<TraceHook*> hooks_;
   std::uint64_t dispatched_ = 0;

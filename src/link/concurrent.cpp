@@ -1,0 +1,32 @@
+#include "link/concurrent.hpp"
+
+#include <utility>
+
+#include "obs/config.hpp"
+#include "obs/export.hpp"
+
+namespace cyclops::link {
+
+std::vector<SessionOutput> run_concurrent_sessions(
+    std::size_t n, const ContextFactory& ctx_factory,
+    const SessionBody& body, util::ThreadPool& pool) {
+  std::vector<SessionOutput> outputs(n);
+  // One context per session, created and destroyed on the worker: nothing
+  // is shared across indices, each worker writes only outputs[i].
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        runtime::Context ctx = ctx_factory(i);
+        SessionOutput& out = outputs[i];
+        out.run = body(i, ctx, out.log);
+        // Export before the context (and its registry) dies; the string
+        // is byte-stable, which is what the isolation tests compare.
+        if constexpr (obs::kEnabled) {
+          out.metrics_jsonl = obs::to_jsonl(ctx.registry());
+        }
+      },
+      pool);
+  return outputs;
+}
+
+}  // namespace cyclops::link

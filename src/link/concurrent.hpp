@@ -1,0 +1,61 @@
+// Concurrent-session driver: N independent headset sessions in one
+// process, each on its own isolated runtime::Context.
+//
+// This is the payoff of the Context refactor (DESIGN.md §11): because
+// every plane takes its pool/registry/RNG/clock from the context instead
+// of process-wide singletons, sessions that each get an isolated context
+// share nothing — so running them fanned out over a pool produces outputs
+// and exported metrics byte-identical to running each one alone, at any
+// thread count (asserted in tests/concurrent_session_test.cpp).
+//
+// The driver deliberately does not know what a "session" computes: the
+// caller supplies a context factory (typically Context::isolated with a
+// per-session seed) and a session body that runs on that context and
+// fills the session's log.  The driver captures each context's metrics
+// export before the context dies, so per-session telemetry survives into
+// the output (and can be rolled up fleet-wide with Registry::merge_from).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "link/fso_link.hpp"
+#include "link/session_log.hpp"
+#include "runtime/context.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cyclops::link {
+
+/// Everything one session leaves behind: its run result, its session log,
+/// and its context's full metrics export (obs::to_jsonl; empty in
+/// CYCLOPS_OBS=OFF builds).
+struct SessionOutput {
+  RunResult run;
+  SessionLog log;
+  std::string metrics_jsonl;
+};
+
+/// Builds session i's context.  Return Context::isolated(...) (seeded per
+/// session) for full isolation; the factory is called from worker threads,
+/// so it must be safe to invoke concurrently.
+using ContextFactory = std::function<runtime::Context(std::size_t)>;
+
+/// Runs session i on `ctx`, appending to `log`.  Everything the body does
+/// should draw from `ctx` (rng(key), registry, clock, pool) — that is
+/// what makes the parallel run reproduce the serial one.
+using SessionBody =
+    std::function<RunResult(std::size_t session, runtime::Context& ctx,
+                            SessionLog& log)>;
+
+/// Runs `n` sessions fanned out over `pool`, one isolated context each.
+/// Each worker writes only its own output slot; outputs are returned in
+/// session order.  Bit-identical to calling the body serially with the
+/// same factory, at any `pool` thread count.
+std::vector<SessionOutput> run_concurrent_sessions(
+    std::size_t n, const ContextFactory& ctx_factory,
+    const SessionBody& body,
+    util::ThreadPool& pool = util::ThreadPool::global());
+
+}  // namespace cyclops::link

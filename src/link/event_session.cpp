@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 
 #include "core/exhaustive_aligner.hpp"
 #include "obs/config.hpp"
@@ -257,14 +258,17 @@ class SamplerProcess final : public event::Process {
   event::ProcessId self_ = event::kNoProcess;
 };
 
-}  // namespace
-
-RunResult run_link_session_events(sim::Prototype& proto,
-                                  core::TpController& controller,
-                                  const motion::MotionProfile& profile,
-                                  const SimOptions& options, SessionLog* log,
-                                  EventSessionStats* stats,
-                                  obs::Registry* registry) {
+/// Shared body of the two public overloads.  `ctx` (nullable) selects the
+/// session-context mode: scheduler on ctx->clock() (reset first) and the
+/// start-up alignment polish on ctx->pool().
+RunResult run_link_session_events_impl(sim::Prototype& proto,
+                                       core::TpController& controller,
+                                       const motion::MotionProfile& profile,
+                                       const SimOptions& options,
+                                       SessionLog* log,
+                                       EventSessionStats* stats,
+                                       obs::Registry* registry,
+                                       const runtime::Context* ctx) {
   if constexpr (!obs::kEnabled) registry = nullptr;
   const optics::SfpSpec& sfp = proto.scene.config().sfp;
   SessionState s{proto,
@@ -287,13 +291,22 @@ RunResult run_link_session_events(sim::Prototype& proto,
     const core::PointingResult initial = controller.solver().solve(
         proto.tracker.ideal_report(proto.scene.rig_pose()), s.applied);
     s.applied = initial.voltages;
-    core::ExhaustiveAligner polish;
+    const core::ExhaustiveAligner polish =
+        ctx != nullptr ? core::ExhaustiveAligner({}, *ctx)
+                       : core::ExhaustiveAligner();
     s.applied = polish.align(proto.scene, s.applied).voltages;
     s.link_state.force_up();
   }
   proto.tracker.reset_schedule();  // simulation time restarts at 0
 
-  event::Scheduler sched;
+  std::optional<event::Scheduler> sched_storage;
+  if (ctx != nullptr) {
+    ctx->clock().reset();  // the context clock becomes this session's t=0
+    sched_storage.emplace(ctx->clock());
+  } else {
+    sched_storage.emplace();
+  }
+  event::Scheduler& sched = *sched_storage;
   event::EventCounter counter;
   sched.add_hook(&counter);
 
@@ -343,6 +356,33 @@ RunResult run_link_session_events(sim::Prototype& proto,
   }
   return s.result;
 }
+
+}  // namespace
+
+RunResult run_link_session_events(sim::Prototype& proto,
+                                  core::TpController& controller,
+                                  const motion::MotionProfile& profile,
+                                  const SimOptions& options, SessionLog* log,
+                                  EventSessionStats* stats,
+                                  obs::Registry* registry) {
+  return run_link_session_events_impl(proto, controller, profile, options, log,
+                                      stats, registry, nullptr);
+}
+
+RunResult run_link_session_events(sim::Prototype& proto,
+                                  core::TpController& controller,
+                                  const motion::MotionProfile& profile,
+                                  const runtime::Context& ctx,
+                                  const SimOptions& options, SessionLog* log,
+                                  EventSessionStats* stats) {
+  return run_link_session_events_impl(proto, controller, profile, options, log,
+                                      stats, &ctx.registry(), &ctx);
+}
+
+HandoverProcess::HandoverProcess(std::size_t num_tx, HandoverConfig config,
+                                 event::Scheduler& sched,
+                                 const runtime::Context& ctx, SessionLog* log)
+    : HandoverProcess(num_tx, config, sched, log, &ctx.registry()) {}
 
 HandoverProcess::HandoverProcess(std::size_t num_tx, HandoverConfig config,
                                  event::Scheduler& sched, SessionLog* log,

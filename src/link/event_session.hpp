@@ -22,6 +22,7 @@
 #include "link/session_log.hpp"
 #include "motion/profile.hpp"
 #include "obs/registry.hpp"
+#include "runtime/context.hpp"
 #include "sim/prototype.hpp"
 
 namespace cyclops::link {
@@ -59,6 +60,19 @@ RunResult run_link_session_events(sim::Prototype& proto,
                                   EventSessionStats* stats = nullptr,
                                   obs::Registry* registry = nullptr);
 
+/// Context overload: the whole session runs on `ctx`.  Its registry
+/// receives the session metrics, its SimClock is reset to 0 and becomes
+/// the session timeline (the scheduler advances it in place, so
+/// ctx.clock().now() reads the session's current time), and the §5.3
+/// start-up alignment polish fans out over its pool.
+RunResult run_link_session_events(sim::Prototype& proto,
+                                  core::TpController& controller,
+                                  const motion::MotionProfile& profile,
+                                  const runtime::Context& ctx,
+                                  const SimOptions& options = {},
+                                  SessionLog* log = nullptr,
+                                  EventSessionStats* stats = nullptr);
+
 /// Event-driven handover control.  Decision rule identical to
 /// HandoverManager::step (hysteresis + drop threshold, first-best wins
 /// ties), but the switch completion is a cancellable Timer: with
@@ -75,6 +89,11 @@ class HandoverProcess final : public event::Process {
   HandoverProcess(std::size_t num_tx, HandoverConfig config,
                   event::Scheduler& sched, SessionLog* log = nullptr,
                   obs::Registry* registry = nullptr);
+
+  /// Context overload: handover metrics land in `ctx.registry()`.
+  HandoverProcess(std::size_t num_tx, HandoverConfig config,
+                  event::Scheduler& sched, const runtime::Context& ctx,
+                  SessionLog* log = nullptr);
 
   /// Feeds the per-TX achievable powers at sched.now(); returns the
   /// serving TX index, or -1 while a switch is in progress.

@@ -10,14 +10,15 @@
 namespace cyclops::link {
 
 TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
-                      const sim::PrototypeConfig& base_config) {
+                      const sim::PrototypeConfig& base_config,
+                      const runtime::Context& ctx) {
   sim::PrototypeConfig config = base_config;
   config.tx_position = tx_position;
   sim::Prototype proto = sim::make_prototype(seed, config);
   util::Rng rng(seed * 2654435761ULL + 1);
   core::CalibrationResult calibration =
-      core::calibrate_prototype(proto, core::CalibrationConfig{}, rng);
-  return TxChain(std::move(proto), std::move(calibration));
+      core::calibrate_prototype(proto, core::CalibrationConfig{}, rng, ctx);
+  return TxChain(std::move(proto), std::move(calibration), ctx);
 }
 
 namespace {
@@ -142,13 +143,13 @@ class MultiTxSlotProcess final : public event::Process {
   event::ProcessId self_ = event::kNoProcess;
 };
 
-}  // namespace
-
-MultiTxResult run_multi_tx_session(
+/// Shared body of the two public overloads; `ctx` (optional) supplies the
+/// session clock.
+MultiTxResult run_multi_tx_session_impl(
     std::vector<TxChain>& chains, const motion::MotionProfile& profile,
     const MultiTxConfig& config,
     const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
-    SessionLog* log, obs::Registry* registry) {
+    SessionLog* log, obs::Registry* registry, const runtime::Context* ctx) {
   if constexpr (!obs::kEnabled) registry = nullptr;
   MultiTxResult result;
   if (chains.empty()) return result;
@@ -161,7 +162,14 @@ MultiTxResult run_multi_tx_session(
     controllers.emplace_back(chain.solver, config.tp);
   }
 
-  event::Scheduler sched;
+  std::optional<event::Scheduler> sched_storage;
+  if (ctx != nullptr) {
+    ctx->clock().reset();  // the context clock becomes this session's t=0
+    sched_storage.emplace(ctx->clock());
+  } else {
+    sched_storage.emplace();
+  }
+  event::Scheduler& sched = *sched_storage;
   // Registered first so an equal-time switch-done timer (scheduled before
   // any same-time slot event was) commits the new TX before that slot
   // samples it — matching the legacy `now < switch_done_` window.
@@ -217,6 +225,26 @@ MultiTxResult run_multi_tx_session(
         .inc(sched.dispatched());
   }
   return result;
+}
+
+}  // namespace
+
+MultiTxResult run_multi_tx_session(
+    std::vector<TxChain>& chains, const motion::MotionProfile& profile,
+    const MultiTxConfig& config,
+    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
+    SessionLog* log, obs::Registry* registry) {
+  return run_multi_tx_session_impl(chains, profile, config, occlusion, log,
+                                   registry, nullptr);
+}
+
+MultiTxResult run_multi_tx_session(
+    std::vector<TxChain>& chains, const motion::MotionProfile& profile,
+    const MultiTxConfig& config,
+    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
+    const runtime::Context& ctx, SessionLog* log) {
+  return run_multi_tx_session_impl(chains, profile, config, occlusion, log,
+                                   &ctx.registry(), &ctx);
 }
 
 }  // namespace cyclops::link

@@ -15,6 +15,7 @@
 #include "link/session_log.hpp"
 #include "motion/profile.hpp"
 #include "obs/registry.hpp"
+#include "runtime/context.hpp"
 
 namespace cyclops::link {
 
@@ -25,10 +26,11 @@ struct TxChain {
   core::PointingSolver solver;
   sim::Voltages voltages{};
 
-  TxChain(sim::Prototype p, core::CalibrationResult c)
+  TxChain(sim::Prototype p, core::CalibrationResult c,
+          const runtime::Context& ctx = runtime::Context::default_ctx())
       : proto(std::move(p)),
         calibration(std::move(c)),
-        solver(calibration.make_pointing_solver()) {}
+        solver(calibration.make_pointing_solver({}, ctx)) {}
 };
 
 struct MultiTxConfig {
@@ -51,8 +53,12 @@ struct MultiTxResult {
 };
 
 /// Builds a TX chain: prototype at `tx_position` + full calibration.
+/// Calibration (sample collection, LM fits, alignment fan-out) runs on
+/// `ctx` — its pool, and its registry for the opt-plane metrics.
 TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
-                      const sim::PrototypeConfig& base_config);
+                      const sim::PrototypeConfig& base_config,
+                      const runtime::Context& ctx =
+                          runtime::Context::default_ctx());
 
 /// Runs a multi-TX session over `profile` on the discrete-event engine:
 /// TP commands apply at their exact DAQ+settle instants (a newer command
@@ -71,5 +77,14 @@ MultiTxResult run_multi_tx_session(
     const MultiTxConfig& config,
     const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
     SessionLog* log = nullptr, obs::Registry* registry = nullptr);
+
+/// Context overload: the session metrics land in ctx.registry() and the
+/// scheduler rides ctx.clock() (reset to 0 at session start, advanced in
+/// place — ctx.clock().now() reads the session's current time).
+MultiTxResult run_multi_tx_session(
+    std::vector<TxChain>& chains, const motion::MotionProfile& profile,
+    const MultiTxConfig& config,
+    const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion,
+    const runtime::Context& ctx, SessionLog* log = nullptr);
 
 }  // namespace cyclops::link

@@ -27,6 +27,15 @@ SlotEvalResult evaluate_trace(const motion::Trace& trace,
              : evaluate_trace_fixed_step(trace, config);
 }
 
+SlotEvalResult evaluate_trace(const motion::Trace& trace,
+                              const SlotEvalConfig& config,
+                              const runtime::Context& ctx) {
+  return config.engine == EvalEngine::kEvent
+             ? evaluate_trace_events(trace, config, nullptr, nullptr,
+                                     &ctx.registry())
+             : evaluate_trace_fixed_step(trace, config);
+}
+
 SlotEvalResult evaluate_trace_fixed_step(const motion::Trace& trace,
                                          const SlotEvalConfig& config) {
   SlotEvalResult result;
@@ -123,6 +132,12 @@ DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
     result.events += p.events;
   }
   return result;
+}
+
+DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
+                                   const SlotEvalConfig& config,
+                                   const runtime::Context& ctx) {
+  return evaluate_dataset(traces, config, ctx.pool(), &ctx.registry());
 }
 
 }  // namespace cyclops::link

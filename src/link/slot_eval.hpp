@@ -21,6 +21,7 @@
 
 #include "motion/trace.hpp"
 #include "obs/registry.hpp"
+#include "runtime/context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cyclops::link {
@@ -107,6 +108,12 @@ inline constexpr int kFrameSlots = 30;
 SlotEvalResult evaluate_trace(const motion::Trace& trace,
                               const SlotEvalConfig& config);
 
+/// Context overload: the eval-plane metrics (event engine only) land in
+/// `ctx.registry()` instead of being dropped.
+SlotEvalResult evaluate_trace(const motion::Trace& trace,
+                              const SlotEvalConfig& config,
+                              const runtime::Context& ctx);
+
 /// The legacy fixed-step engine, regardless of config.engine.
 SlotEvalResult evaluate_trace_fixed_step(const motion::Trace& trace,
                                          const SlotEvalConfig& config);
@@ -133,5 +140,12 @@ DatasetEvalResult evaluate_dataset(
     const std::vector<motion::Trace>& traces, const SlotEvalConfig& config,
     util::ThreadPool& pool = util::ThreadPool::global(),
     obs::Registry* registry = nullptr);
+
+/// Context overload: fans out over `ctx.pool()` and accumulates the
+/// eval-plane metrics into `ctx.registry()` — one argument instead of the
+/// pool/registry pair.
+DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
+                                   const SlotEvalConfig& config,
+                                   const runtime::Context& ctx);
 
 }  // namespace cyclops::link

@@ -12,6 +12,7 @@
 
 #include "net/frame_source.hpp"
 #include "obs/registry.hpp"
+#include "runtime/context.hpp"
 
 namespace cyclops::net {
 
@@ -39,6 +40,13 @@ class AdaptiveStreamController {
  public:
   explicit AdaptiveStreamController(AdaptiveConfig config)
       : config_(config) {}
+
+  /// Context constructor: mode metrics land in ctx.registry() (handles
+  /// hoisted once, here) — the one-argument form of construct + set_obs.
+  AdaptiveStreamController(AdaptiveConfig config, const runtime::Context& ctx)
+      : AdaptiveStreamController(config) {
+    set_obs(&ctx.registry());
+  }
 
   /// Attaches mode metrics: adaptive_switches_total counters (labelled by
   /// destination mode) and adaptive_mode_dwell_us histograms (time spent

@@ -13,6 +13,7 @@
 
 #include "net/frame_source.hpp"
 #include "obs/registry.hpp"
+#include "runtime/context.hpp"
 
 namespace cyclops::net {
 
@@ -46,6 +47,13 @@ struct StreamStats {
 class FrameStreamer {
  public:
   explicit FrameStreamer(StreamerConfig config) : config_(config) {}
+
+  /// Context constructor: stream metrics land in ctx.registry() (handles
+  /// hoisted once, here) — the one-argument form of construct + set_obs.
+  FrameStreamer(StreamerConfig config, const runtime::Context& ctx)
+      : FrameStreamer(config) {
+    set_obs(&ctx.registry());
+  }
 
   /// Attaches stream metrics: stream_frames_{offered,delivered,dropped}
   /// _total and stream_freezes_total counters plus the

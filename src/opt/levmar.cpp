@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "obs/span.hpp"
 #include "opt/linalg.hpp"
@@ -15,28 +16,24 @@ double cost_of(std::span<const double> residuals) {
   return c;
 }
 
-/// Solver metrics live in the process-wide registry (the solver has no
-/// registry parameter to thread through dozens of call sites).  Handles
-/// are function-local statics: one locked lookup per process, one relaxed
-/// atomic op per solve afterwards.  Iteration counts are integers, so the
-/// histogram stays deterministic even when calibration fans solves out
-/// over the pool.
+/// Solver metric handles, resolved from the *calling context's* registry
+/// (a few locked lookups per solve — noise next to the residual
+/// evaluations a solve performs; relaxed atomic ops afterwards).
+/// Iteration counts are integers, so the histogram stays deterministic
+/// even when calibration fans solves out over the pool.
 struct LmMetrics {
   obs::Counter& solves;
   obs::Counter& converged;
   obs::Histogram& iterations;
   obs::Histogram& wall_us;
 
-  static LmMetrics& get() {
-    static LmMetrics m{
-        obs::Registry::global().counter("lm_solves_total"),
-        obs::Registry::global().counter("lm_converged_total"),
-        obs::Registry::global().histogram(
-            "lm_iterations", obs::HistogramSpec::linear(-0.5, 1.0, 64)),
-        obs::Registry::global().histogram("lm_solve_wall_us",
-                                          obs::HistogramSpec::duration_us())};
-    return m;
-  }
+  explicit LmMetrics(obs::Registry& registry)
+      : solves(registry.counter("lm_solves_total")),
+        converged(registry.counter("lm_converged_total")),
+        iterations(registry.histogram(
+            "lm_iterations", obs::HistogramSpec::linear(-0.5, 1.0, 64))),
+        wall_us(registry.histogram("lm_solve_wall_us",
+                                   obs::HistogramSpec::duration_us())) {}
 };
 
 }  // namespace
@@ -90,10 +87,11 @@ void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
 
 LevMarResult levenberg_marquardt(const ResidualFn& fn,
                                  std::vector<double> initial_guess,
-                                 const LevMarOptions& options) {
-  obs::Histogram* wall_hist = nullptr;
-  if constexpr (obs::kEnabled) wall_hist = &LmMetrics::get().wall_us;
-  obs::WallSpan span(wall_hist);
+                                 const LevMarOptions& options,
+                                 const runtime::Context& ctx) {
+  std::optional<LmMetrics> metrics;
+  if constexpr (obs::kEnabled) metrics.emplace(ctx.registry());
+  obs::WallSpan span(metrics ? &metrics->wall_us : nullptr);
 
   LevMarResult result;
   std::vector<double> params = std::move(initial_guess);
@@ -112,7 +110,7 @@ LevMarResult levenberg_marquardt(const ResidualFn& fn,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
     numeric_jacobian(fn, params, options.jacobian_epsilon, residuals.size(),
-                     jac, scratch);
+                     jac, scratch, ctx.pool());
     Matrix jtj = normal_matrix(jac);
     std::vector<double> jtr = transpose_times(jac, residuals);
 
@@ -160,10 +158,9 @@ LevMarResult levenberg_marquardt(const ResidualFn& fn,
   result.params = std::move(params);
   result.final_cost = cost;
   if constexpr (obs::kEnabled) {
-    LmMetrics& m = LmMetrics::get();
-    m.solves.inc();
-    if (result.converged) m.converged.inc();
-    m.iterations.record(static_cast<double>(result.iterations));
+    metrics->solves.inc();
+    if (result.converged) metrics->converged.inc();
+    metrics->iterations.record(static_cast<double>(result.iterations));
   }
   return result;
 }

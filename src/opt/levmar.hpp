@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cyclops::opt {
@@ -41,9 +42,14 @@ struct LevMarResult {
 };
 
 /// Minimizes sum of squared residuals starting from `initial_guess`.
-LevMarResult levenberg_marquardt(const ResidualFn& fn,
-                                 std::vector<double> initial_guess,
-                                 const LevMarOptions& options = {});
+/// Jacobian columns are fanned out over `ctx.pool()`, and the solver's
+/// `lm_*` metrics land in `ctx.registry()` — the default context
+/// reproduces the old global-pool/global-registry behavior, while a
+/// session-scoped context keeps concurrent solvers fully isolated.
+LevMarResult levenberg_marquardt(
+    const ResidualFn& fn, std::vector<double> initial_guess,
+    const LevMarOptions& options = {},
+    const runtime::Context& ctx = runtime::Context::default_ctx());
 
 /// Per-chunk scratch for the parallel Jacobian (one parameter/residual
 /// buffer set per pool chunk).  Owned by the caller so repeated Jacobian

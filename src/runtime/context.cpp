@@ -1,0 +1,35 @@
+#include "runtime/context.hpp"
+
+namespace cyclops::runtime {
+
+Context::Context(util::ThreadPool& pool, obs::Registry& registry,
+                 std::uint64_t seed)
+    : pool_(&pool),
+      registry_(&registry),
+      clock_(std::make_unique<util::SimClock>()),
+      base_(seed),
+      seed_(seed),
+      wall_origin_(std::chrono::steady_clock::now()) {}
+
+Context::Context(std::unique_ptr<util::ThreadPool> pool,
+                 std::unique_ptr<obs::Registry> registry, std::uint64_t seed)
+    : owned_pool_(std::move(pool)),
+      owned_registry_(std::move(registry)),
+      pool_(owned_pool_.get()),
+      registry_(owned_registry_.get()),
+      clock_(std::make_unique<util::SimClock>()),
+      base_(seed),
+      seed_(seed),
+      wall_origin_(std::chrono::steady_clock::now()) {}
+
+Context Context::isolated(const Options& options) {
+  return Context(std::make_unique<util::ThreadPool>(options.threads),
+                 std::make_unique<obs::Registry>(), options.seed);
+}
+
+Context& Context::default_ctx() {
+  static Context ctx(util::ThreadPool::global(), obs::Registry::global());
+  return ctx;
+}
+
+}  // namespace cyclops::runtime

@@ -1,0 +1,115 @@
+// Per-session runtime context: the four cross-cutting resources every
+// plane used to reach through process-wide singletons for, bundled into
+// one dependency-injected value.
+//
+//   * execution   — a util::ThreadPool (owned or borrowed)
+//   * telemetry   — an obs::Registry plus an obs::Tracer bound to it
+//   * randomness  — a base util::Rng; consumers derive keyed split()
+//                   children so their streams are order-independent
+//   * time        — a util::SimClock the session's schedulers ride, plus
+//                   a wall-clock origin for wall-time bookkeeping
+//
+// Context::default_ctx() borrows the process-wide pool and registry, so a
+// call site migrated from ThreadPool::global() / Registry::global() to a
+// defaulted Context parameter behaves exactly as before — migration is
+// incremental, one signature at a time.  Context::isolated() instead owns
+// fresh copies of everything, which is what lets N sessions run
+// concurrently in one process without sharing (or corrupting) each
+// other's metrics, RNG streams, pool, or clock: give each session its own
+// isolated context and its outputs and exported metrics are bit-identical
+// to running it alone (link::run_concurrent_sessions proves this in
+// tests; see DESIGN.md §11).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cyclops::runtime {
+
+class Context {
+ public:
+  /// Base seed of default_ctx(): "cyclops" in ASCII.  Any consumer keyed
+  /// off the default context draws from this documented stream.
+  static constexpr std::uint64_t kDefaultSeed = 0x6379636c6f7073ULL;
+
+  struct Options {
+    std::uint64_t seed = kDefaultSeed;
+    /// Worker threads of the owned pool.  1 (the default) is a purely
+    /// inline pool — the right choice when sessions themselves are fanned
+    /// out in parallel; 0 resolves CYCLOPS_THREADS / hardware concurrency.
+    std::size_t threads = 1;
+  };
+
+  /// Borrowing context: wires existing resources (all must outlive it).
+  Context(util::ThreadPool& pool, obs::Registry& registry,
+          std::uint64_t seed = kDefaultSeed);
+
+  /// Fully isolated context: owns its own pool, registry, and clock.
+  static Context isolated(const Options& options);
+  static Context isolated() { return isolated(Options()); }
+
+  /// The shared process-wide context: borrows ThreadPool::global() and
+  /// obs::Registry::global().  Call sites with a defaulted Context
+  /// parameter reproduce the pre-Context global behavior through it.
+  static Context& default_ctx();
+
+  Context(Context&&) noexcept = default;
+  Context& operator=(Context&&) noexcept = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  util::ThreadPool& pool() const noexcept { return *pool_; }
+  obs::Registry& registry() const noexcept { return *registry_; }
+  /// Span factory bound to this context's registry (cheap value type).
+  obs::Tracer tracer() const noexcept { return obs::Tracer(registry_); }
+
+  /// The session's simulation clock.  Session drivers run their scheduler
+  /// on it (a context represents one session timeline; drivers reset it
+  /// at session start).  Stable address across Context moves.
+  util::SimClock& clock() const noexcept { return *clock_; }
+
+  /// Wall-clock microseconds since this context was created (profiling /
+  /// log stamps; never feeds a determinism-checked metric).
+  double wall_elapsed_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - wall_origin_)
+        .count();
+  }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  /// Keyed child generator: a pure function of (seed, key), independent
+  /// of call order — consumer i should take rng(i) (or a documented
+  /// per-plane key) so streams never alias across consumers.
+  util::Rng rng(std::uint64_t key) const noexcept { return base_.split(key); }
+  /// Copy of the base generator (for call sites that thread a mutable
+  /// Rng& through a pipeline, e.g. calibration).
+  util::Rng base_rng() const noexcept { return base_; }
+
+  bool owns_pool() const noexcept { return owned_pool_ != nullptr; }
+  bool owns_registry() const noexcept { return owned_registry_ != nullptr; }
+
+ private:
+  Context(std::unique_ptr<util::ThreadPool> pool,
+          std::unique_ptr<obs::Registry> registry, std::uint64_t seed);
+
+  // Owned resources first so borrowed-or-owned pointers below always
+  // outlive nothing they point at; unique_ptrs keep addresses stable
+  // across Context moves (handed-out references stay valid).
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  util::ThreadPool* pool_;
+  obs::Registry* registry_;
+  std::unique_ptr<util::SimClock> clock_;
+  util::Rng base_;
+  std::uint64_t seed_;
+  std::chrono::steady_clock::time_point wall_origin_;
+};
+
+}  // namespace cyclops::runtime

@@ -10,6 +10,18 @@
 
 namespace cyclops::util {
 
+std::string sanitized_git_rev(const char* raw) {
+  if (raw == nullptr) return "unknown";
+  const std::string rev(raw);
+  if (rev.size() < 4 || rev.size() > 40) return "unknown";
+  for (const char c : rev) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                     (c >= 'A' && c <= 'F');
+    if (!hex) return "unknown";
+  }
+  return rev;
+}
+
 void write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& fields) {
@@ -21,8 +33,9 @@ void write_bench_json(
   }
   std::fprintf(f, "{\n  \"name\": \"%s\"", name.c_str());
   std::fprintf(f, ",\n  \"schema_version\": %d", kBenchSchemaVersion);
-  std::fprintf(f, ",\n  \"threads\": %zu", ThreadPool::env_thread_count());
-  std::fprintf(f, ",\n  \"git_rev\": \"%s\"", CYCLOPS_GIT_REV);
+  std::fprintf(f, ",\n  \"threads\": %zu", ThreadPool::requested_threads());
+  std::fprintf(f, ",\n  \"git_rev\": \"%s\"",
+               sanitized_git_rev(CYCLOPS_GIT_REV).c_str());
   for (const auto& [key, value] : fields) {
     std::fprintf(f, ",\n  \"%s\": %s", key.c_str(),
                  json_number(value).c_str());

@@ -34,6 +34,14 @@ class Timer {
 ///   2 — adds schema_version / threads / git_rev metadata (PR 3)
 inline constexpr int kBenchSchemaVersion = 2;
 
+/// Validates a `git rev-parse --short HEAD`-shaped revision string: a
+/// 4-40 character hex token passes through unchanged; anything else
+/// (null, empty, an error message git printed instead of a hash, a
+/// truncated/garbled build define) degrades to "unknown".  This is what
+/// write_bench_json stamps as "git_rev", so a build from a tarball — no
+/// git, no .git directory — still emits well-formed JSON.
+std::string sanitized_git_rev(const char* raw);
+
 /// Writes `BENCH_<name>.json` in the working directory: metadata
 /// (schema_version, resolved thread count, git rev) followed by the given
 /// numeric fields, all printed with kJsonNumberFormat so they round-trip.

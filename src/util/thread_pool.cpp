@@ -18,19 +18,30 @@ thread_local int tl_inline_depth = 0;
 ThreadPool::SerialScope::SerialScope() { ++tl_inline_depth; }
 ThreadPool::SerialScope::~SerialScope() { --tl_inline_depth; }
 
-std::size_t ThreadPool::env_thread_count() {
-  if (const char* env = std::getenv("CYCLOPS_THREADS")) {
+std::size_t ThreadPool::parse_thread_count(const char* value,
+                                           std::size_t fallback) noexcept {
+  if (value != nullptr) {
     char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= 1) {
+    const long parsed = std::strtol(value, &end, 10);
+    if (end != value && *end == '\0' && parsed >= 1) {
       return static_cast<std::size_t>(parsed);
     }
   }
-  return std::max(1u, std::thread::hardware_concurrency());
+  return fallback;
+}
+
+std::size_t ThreadPool::requested_threads() {
+  // Resolved exactly once; a getenv per pool construction was both wasted
+  // work and a thread-safety hazard (getenv concurrent with setenv in
+  // tests is a data race).
+  static const std::size_t cached = parse_thread_count(
+      std::getenv("CYCLOPS_THREADS"),
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return cached;
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) threads = env_thread_count();
+  if (threads == 0) threads = requested_threads();
   workers_.reserve(threads - 1);
   for (std::size_t w = 0; w + 1 < threads; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });

@@ -61,9 +61,18 @@ class ThreadPool {
   /// Shared always-inline pool — the `.serial()` escape hatch for call
   /// sites that take a pool parameter.
   static ThreadPool& serial();
-  /// Thread count the environment requests (CYCLOPS_THREADS, else
-  /// hardware concurrency, clamped to >= 1).
-  static std::size_t env_thread_count();
+  /// Thread count the environment requests: CYCLOPS_THREADS, else
+  /// hardware concurrency, clamped to >= 1.  Resolved ONCE (first call)
+  /// and cached — the single source of truth for every
+  /// default-constructed pool; later changes to the environment variable
+  /// have no effect on this process.
+  static std::size_t requested_threads();
+  /// Parses a CYCLOPS_THREADS-style string: the parsed value when
+  /// `value` is a whole positive decimal integer, else `fallback`.
+  /// (Pure; exposed so the parsing contract is unit-testable without
+  /// mutating process state.)
+  static std::size_t parse_thread_count(const char* value,
+                                        std::size_t fallback) noexcept;
 
   /// Lifetime dispatch tallies (relaxed atomics; a handful of updates per
   /// run_chunked call, not per index).  util cannot depend on obs, so the

@@ -194,6 +194,85 @@ TEST(ObsRegistryTest, MergeCreatesAndAccumulates) {
             1u);
 }
 
+// Fleet-wide rollup: two sessions' context registries folded into one.
+// Same metric names; labels partly disjoint (per-session label) and
+// partly overlapping (shared plane label) — the shapes
+// run_concurrent_sessions outputs produce when merged for a rollup.
+TEST(ObsRegistryTest, MergeRollupDisjointLabelSets) {
+  obs::Registry fleet, s0, s1;
+  s0.counter("session_slots_total", {{"session", "0"}}).inc(100);
+  s1.counter("session_slots_total", {{"session", "1"}}).inc(200);
+  fleet.merge_from(s0);
+  fleet.merge_from(s1);
+
+  // Disjoint label sets stay separate series under the same name.
+  const auto counters = fleet.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(fleet.counter("session_slots_total", {{"session", "0"}}).value(),
+            100u);
+  EXPECT_EQ(fleet.counter("session_slots_total", {{"session", "1"}}).value(),
+            200u);
+}
+
+TEST(ObsRegistryTest, MergeRollupOverlappingLabelSets) {
+  obs::Registry fleet, s0, s1;
+  // The same (name, labels) series in both sessions must accumulate...
+  s0.counter("realignments_total", {{"plane", "session"}}).inc(3);
+  s1.counter("realignments_total", {{"plane", "session"}}).inc(5);
+  // ...while a label set only one session emits rides along untouched.
+  s1.counter("realignments_total", {{"plane", "eval"}}).inc(7);
+  fleet.merge_from(s0);
+  fleet.merge_from(s1);
+
+  EXPECT_EQ(fleet.counter("realignments_total", {{"plane", "session"}}).value(),
+            8u);
+  EXPECT_EQ(fleet.counter("realignments_total", {{"plane", "eval"}}).value(),
+            7u);
+  ASSERT_EQ(fleet.counters().size(), 2u);
+}
+
+TEST(ObsRegistryTest, MergeRollupHistogramsSumBucketsAndMergeExtrema) {
+  const obs::HistogramSpec spec = obs::HistogramSpec::linear(0.0, 1.0, 4);
+  obs::Registry fleet, s0, s1;
+  obs::Histogram& h0 = s0.histogram("latency_us", spec, {{"op", "realign"}});
+  obs::Histogram& h1 = s1.histogram("latency_us", spec, {{"op", "realign"}});
+  h0.record(0.5);
+  h0.record(1.5);
+  h1.record(1.5);
+  h1.record(3.5);
+  fleet.merge_from(s0);
+  fleet.merge_from(s1);
+
+  obs::Histogram& merged =
+      fleet.histogram("latency_us", spec, {{"op", "realign"}});
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_DOUBLE_EQ(merged.min(), 0.5);
+  EXPECT_DOUBLE_EQ(merged.max(), 3.5);
+  EXPECT_EQ(merged.bucket(0), 1u);  // [0,1): the 0.5
+  EXPECT_EQ(merged.bucket(1), 2u);  // [1,2): both 1.5s
+  EXPECT_EQ(merged.bucket(3), 1u);  // [3,4): the 3.5
+}
+
+// Merging is per-(name, labels), so a rollup is order-independent for
+// counters/histograms — merge s1 before s0 and every value is the same.
+TEST(ObsRegistryTest, MergeRollupIsOrderIndependent) {
+  const obs::HistogramSpec spec = obs::HistogramSpec::linear(0.0, 1.0, 4);
+  obs::Registry ab, ba, s0, s1;
+  s0.counter("n", {{"session", "0"}}).inc(2);
+  s0.counter("shared").inc(10);
+  s0.histogram("h", spec).record(0.5);
+  s1.counter("n", {{"session", "1"}}).inc(4);
+  s1.counter("shared").inc(20);
+  s1.histogram("h", spec).record(2.5);
+  ab.merge_from(s0);
+  ab.merge_from(s1);
+  ba.merge_from(s1);
+  ba.merge_from(s0);
+
+  EXPECT_EQ(obs::to_jsonl(ab), obs::to_jsonl(ba));
+  EXPECT_EQ(ab.counter("shared").value(), 30u);
+}
+
 TEST(ObsRegistryTest, RecordThreadPoolSnapshotsStats) {
   util::ThreadPool pool(2);
   pool.run_chunked(100, [](std::size_t, std::size_t, std::size_t) {});

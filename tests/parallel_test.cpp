@@ -93,14 +93,28 @@ TEST(ThreadPoolTest, SerialScopeForcesInline) {
   EXPECT_EQ(count, 100);
 }
 
-TEST(ThreadPoolTest, EnvThreadCountOverride) {
-  setenv("CYCLOPS_THREADS", "3", 1);
-  EXPECT_EQ(util::ThreadPool::env_thread_count(), 3u);
-  util::ThreadPool pool;  // resolves from the env
-  EXPECT_EQ(pool.thread_count(), 3u);
-  setenv("CYCLOPS_THREADS", "garbage", 1);
-  EXPECT_GE(util::ThreadPool::env_thread_count(), 1u);
+TEST(ThreadPoolTest, ParseThreadCount) {
+  // The pure parser behind CYCLOPS_THREADS resolution.
+  EXPECT_EQ(util::ThreadPool::parse_thread_count("3", 8), 3u);
+  EXPECT_EQ(util::ThreadPool::parse_thread_count("1", 8), 1u);
+  EXPECT_EQ(util::ThreadPool::parse_thread_count(nullptr, 8), 8u);
+  EXPECT_EQ(util::ThreadPool::parse_thread_count("garbage", 8), 8u);
+  EXPECT_EQ(util::ThreadPool::parse_thread_count("", 8), 8u);
+  EXPECT_EQ(util::ThreadPool::parse_thread_count("0", 8), 8u);
+  EXPECT_EQ(util::ThreadPool::parse_thread_count("-2", 8), 8u);
+  EXPECT_EQ(util::ThreadPool::parse_thread_count("3x", 8), 8u);
+}
+
+TEST(ThreadPoolTest, RequestedThreadsIsResolvedOnce) {
+  // The env var is read exactly once per process; later changes must not
+  // move the cached value (single source of truth for every default pool).
+  const std::size_t resolved = util::ThreadPool::requested_threads();
+  EXPECT_GE(resolved, 1u);
+  setenv("CYCLOPS_THREADS", "1234", 1);
+  EXPECT_EQ(util::ThreadPool::requested_threads(), resolved);
   unsetenv("CYCLOPS_THREADS");
+  util::ThreadPool pool;  // default construction uses the cached value
+  EXPECT_EQ(pool.thread_count(), resolved);
 }
 
 // ---- keyed RNG split ----

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <filesystem>
 
+#include "util/bench_io.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
@@ -279,6 +280,27 @@ TEST(SimClockTest, ConversionsRoundToNearest) {
   EXPECT_EQ(us_round(-2.5), -3);
   EXPECT_EQ(us_from_ms(-2.3), -2300);
   static_assert(us_from_ms(2.3) == 2300, "us_round must be constexpr");
+}
+
+TEST(BenchIoTest, SanitizedGitRevAcceptsHexTokens) {
+  EXPECT_EQ(sanitized_git_rev("d94ce61"), "d94ce61");
+  EXPECT_EQ(sanitized_git_rev("0123456789abcdef0123456789abcdef01234567"),
+            "0123456789abcdef0123456789abcdef01234567");
+  EXPECT_EQ(sanitized_git_rev("ABCDEF12"), "ABCDEF12");
+}
+
+TEST(BenchIoTest, SanitizedGitRevDegradesToUnknown) {
+  // Configure-time git failures leave markers that must never leak into
+  // the bench JSON as a bogus revision.
+  EXPECT_EQ(sanitized_git_rev(nullptr), "unknown");
+  EXPECT_EQ(sanitized_git_rev(""), "unknown");
+  EXPECT_EQ(sanitized_git_rev("unknown"), "unknown");
+  EXPECT_EQ(sanitized_git_rev("fatal: not a git repository"), "unknown");
+  EXPECT_EQ(sanitized_git_rev("abc"), "unknown");       // too short
+  EXPECT_EQ(sanitized_git_rev("deadbeefg"), "unknown");  // non-hex char
+  EXPECT_EQ(
+      sanitized_git_rev("0123456789abcdef0123456789abcdef012345678"),
+      "unknown");  // 41 chars: longer than a full SHA-1
 }
 
 }  // namespace
