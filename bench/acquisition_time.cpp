@@ -36,7 +36,7 @@ int main() {
         rig.proto.nominal_rig_pose, 0.15, 0.10, rng);
     rig.proto.scene.set_rig_pose(pose);
     const core::AlignResult r = aligner.align(rig.proto.scene, {});
-    if (!r.success) continue;
+    if (!r.converged()) continue;
     evals.add(r.evaluations);
     seconds.add(r.evaluations * per_observation_s);
   }

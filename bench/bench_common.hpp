@@ -61,9 +61,11 @@ struct SpeedSweepRow {
 
 /// The §5.3 protocol: one full stroke per speed, starting from an aligned
 /// link each time (the paper pauses to re-acquire after every loss).
-std::vector<SpeedSweepRow> stroke_speed_sweep(CalibratedRig& rig,
-                                              StrokeKind kind,
-                                              const std::vector<double>& speeds);
+/// `engine` picks the closed-loop engine — kEvent by default; fig13 also
+/// runs the kFixedStep oracle and asserts bitwise-equal output.
+std::vector<SpeedSweepRow> stroke_speed_sweep(
+    CalibratedRig& rig, StrokeKind kind, const std::vector<double>& speeds,
+    link::SessionEngine engine = link::SessionEngine::kEvent);
 
 /// Largest swept speed whose throughput stayed optimal (>= 98 % of
 /// goodput).  Returns 0 if none.
@@ -72,9 +74,10 @@ double max_optimal_speed(const std::vector<SpeedSweepRow>& rows,
 
 /// Mixed-motion characterization: run hand-held motion with the given
 /// speed caps, return the aggregate windows.
-link::RunResult mixed_motion_run(CalibratedRig& rig, double max_linear_mps,
-                                 double max_angular_rps, double duration_s,
-                                 std::uint64_t seed);
+link::RunResult mixed_motion_run(
+    CalibratedRig& rig, double max_linear_mps, double max_angular_rps,
+    double duration_s, std::uint64_t seed,
+    link::SessionEngine engine = link::SessionEngine::kEvent);
 
 /// Per-window alignment capability bucketed by measured speeds — the
 /// paper's way of reading Figs 14/15: "optimal throughput for motions
@@ -99,12 +102,10 @@ struct MixedCharacterization {
   double sustained_angular_rps = 0.0;
 };
 
-MixedCharacterization characterize_mixed(CalibratedRig& rig,
-                                         double cap_linear_mps,
-                                         double cap_angular_rps,
-                                         double lin_limit, double ang_limit,
-                                         double duration_s,
-                                         std::uint64_t seed);
+MixedCharacterization characterize_mixed(
+    CalibratedRig& rig, double cap_linear_mps, double cap_angular_rps,
+    double lin_limit, double ang_limit, double duration_s, std::uint64_t seed,
+    link::SessionEngine engine = link::SessionEngine::kEvent);
 
 /// Formats "x.xx" with the given precision (printf wrapper for tables).
 std::string fmt(double v, int precision = 2);

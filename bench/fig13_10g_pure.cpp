@@ -5,26 +5,70 @@
 // Paper anchors: optimal 9.4 Gbps up to ~33 cm/s linear (observed up to
 // 39 cm/s) and ~16-18 deg/s angular (up to ~19 deg/s); received power
 // stays above -25..-30 dBm inside those bounds.
+//
+// This bench also doubles as the engine-equivalence gate: every sweep
+// runs on the event-driven session core AND on the retained fixed-step
+// oracle (on an identically seeded twin rig), the two outputs must be
+// bitwise equal, and the timings land in BENCH_fig13.json as
+// legacy_vs_event_speedup.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "util/units.hpp"
 
 using namespace cyclops;
 
+namespace {
+
+/// Bitwise comparison (== on doubles; the claim is exact equality, not
+/// tolerance) — aborts the bench on the first mismatch.
+void require_identical(const std::vector<bench::SpeedSweepRow>& event_rows,
+                       const std::vector<bench::SpeedSweepRow>& oracle_rows,
+                       const char* what) {
+  bool ok = event_rows.size() == oracle_rows.size();
+  for (std::size_t i = 0; ok && i < event_rows.size(); ++i) {
+    const auto& a = event_rows[i];
+    const auto& b = oracle_rows[i];
+    ok = a.speed == b.speed && a.throughput_gbps == b.throughput_gbps &&
+         a.power_dbm == b.power_dbm && a.up_fraction == b.up_fraction;
+  }
+  if (!ok) {
+    std::printf("ENGINE MISMATCH in %s sweep: event engine output is not "
+                "bitwise equal to the fixed-step oracle\n",
+                what);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
 int main() {
   std::printf("== Fig 13: 10G throughput/power vs linear and angular speed "
               "==\n\n");
 
+  // Twin rigs: both engines consume tracker randomness, so each gets its
+  // own identically seeded prototype (cf. tests/session_core_test).
   bench::CalibratedRig rig =
+      bench::make_calibrated_rig(42, sim::prototype_10g_config());
+  bench::CalibratedRig oracle_rig =
       bench::make_calibrated_rig(42, sim::prototype_10g_config());
   const double goodput = rig.proto.scene.config().sfp.goodput_gbps;
 
   // --- purely linear motion (cm/s) ---
   std::vector<double> linear_speeds;
   for (double v = 0.05; v <= 0.90 + 1e-9; v += 0.05) linear_speeds.push_back(v);
-  const auto linear_rows =
-      bench::stroke_speed_sweep(rig, bench::StrokeKind::kLinear, linear_speeds);
+  bench::Timer timer;
+  const auto linear_rows = bench::stroke_speed_sweep(
+      rig, bench::StrokeKind::kLinear, linear_speeds,
+      link::SessionEngine::kEvent);
+  double event_ms = timer.elapsed_ms();
+  timer.reset();
+  const auto linear_oracle = bench::stroke_speed_sweep(
+      oracle_rig, bench::StrokeKind::kLinear, linear_speeds,
+      link::SessionEngine::kFixedStep);
+  double legacy_ms = timer.elapsed_ms();
+  require_identical(linear_rows, linear_oracle, "linear");
 
   std::printf("linear_speed_cm_s, throughput_gbps, power_dbm\n");
   for (const auto& row : linear_rows) {
@@ -41,8 +85,17 @@ int main() {
   for (double w = 4.0; w <= 40.0 + 1e-9; w += 4.0) {
     angular_speeds.push_back(util::deg_to_rad(w));
   }
+  timer.reset();
   const auto angular_rows = bench::stroke_speed_sweep(
-      rig, bench::StrokeKind::kAngular, angular_speeds);
+      rig, bench::StrokeKind::kAngular, angular_speeds,
+      link::SessionEngine::kEvent);
+  event_ms += timer.elapsed_ms();
+  timer.reset();
+  const auto angular_oracle = bench::stroke_speed_sweep(
+      oracle_rig, bench::StrokeKind::kAngular, angular_speeds,
+      link::SessionEngine::kFixedStep);
+  legacy_ms += timer.elapsed_ms();
+  require_identical(angular_rows, angular_oracle, "angular");
 
   std::printf("angular_speed_deg_s, throughput_gbps, power_dbm\n");
   for (const auto& row : angular_rows) {
@@ -51,7 +104,17 @@ int main() {
   }
   const double max_angular = bench::max_optimal_speed(angular_rows, goodput);
   std::printf("max angular speed with optimal throughput: %.0f deg/s "
-              "(paper: ~16-19 deg/s)\n",
+              "(paper: ~16-19 deg/s)\n\n",
               util::rad_to_deg(max_angular));
+
+  std::printf("engines bitwise equal; event %.0f ms vs fixed-step %.0f ms "
+              "(speedup %.2fx)\n",
+              event_ms, legacy_ms, legacy_ms / event_ms);
+  bench::write_bench_json(
+      "fig13", {{"max_linear_cm_s", max_linear * 100.0},
+                {"max_angular_deg_s", util::rad_to_deg(max_angular)},
+                {"event_ms", event_ms},
+                {"legacy_ms", legacy_ms},
+                {"legacy_vs_event_speedup", legacy_ms / event_ms}});
   return 0;
 }

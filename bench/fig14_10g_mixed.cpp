@@ -50,5 +50,10 @@ int main() {
               "deg/s)\n",
               mixed.sustained_linear_mps * 100.0,
               util::rad_to_deg(mixed.sustained_angular_rps));
+  bench::write_bench_json(
+      "fig14",
+      {{"sustained_linear_cm_s", mixed.sustained_linear_mps * 100.0},
+       {"sustained_angular_deg_s",
+        util::rad_to_deg(mixed.sustained_angular_rps)}});
   return 0;
 }

@@ -28,9 +28,10 @@ int main() {
     std::printf("%.0f, %.2f, %.1f\n", row.speed * 100.0, row.throughput_gbps,
                 row.power_dbm);
   }
+  const double max_linear = bench::max_optimal_speed(linear_rows, goodput);
   std::printf("max linear speed with optimal throughput: %.0f cm/s "
               "(paper: ~25 cm/s)\n\n",
-              bench::max_optimal_speed(linear_rows, goodput) * 100.0);
+              max_linear * 100.0);
 
   // --- purely angular ---
   std::vector<double> angular_speeds;
@@ -44,9 +45,10 @@ int main() {
     std::printf("%.0f, %.2f, %.1f\n", util::rad_to_deg(row.speed),
                 row.throughput_gbps, row.power_dbm);
   }
+  const double max_angular = bench::max_optimal_speed(angular_rows, goodput);
   std::printf("max angular speed with optimal throughput: %.0f deg/s "
               "(paper: ~25 deg/s)\n\n",
-              util::rad_to_deg(bench::max_optimal_speed(angular_rows, goodput)));
+              util::rad_to_deg(max_angular));
 
   // --- mixed (same bucketed methodology as Fig 14) ---
   const bench::MixedCharacterization mixed = bench::characterize_mixed(
@@ -73,5 +75,12 @@ int main() {
               "(paper: ~15 cm/s and 15-20 deg/s)\n",
               mixed.sustained_linear_mps * 100.0,
               util::rad_to_deg(mixed.sustained_angular_rps));
+  bench::write_bench_json(
+      "fig15",
+      {{"max_linear_cm_s", max_linear * 100.0},
+       {"max_angular_deg_s", util::rad_to_deg(max_angular)},
+       {"sustained_linear_cm_s", mixed.sustained_linear_mps * 100.0},
+       {"sustained_angular_deg_s",
+        util::rad_to_deg(mixed.sustained_angular_rps)}});
   return 0;
 }

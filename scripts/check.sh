@@ -3,7 +3,10 @@
 #   1. release      — configure, build, and run the whole suite
 #                     (fast + ctx + slow labels).
 #   2. tsan-fast    — ThreadSanitizer over the quick gate plus the
-#                     context/concurrency isolation tests (fast|ctx).
+#                     context/concurrency isolation tests and the phy
+#                     layer (fast|ctx|phy) — so the event-engine-vs-
+#                     fixed-step equivalence oracle runs under both
+#                     release AND tsan.
 #   3. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
 #                     proving the telemetry compile-out keeps everything
 #                     green.
@@ -17,12 +20,12 @@ cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== [2/3] tsan-fast: ThreadSanitizer, fast + ctx labels =="
+echo "== [2/3] tsan-fast: ThreadSanitizer, fast + ctx + phy labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan-fast
 
-echo "== [3/3] obs-off-fast: telemetry compiled out, fast + ctx labels =="
+echo "== [3/3] obs-off-fast: telemetry compiled out, fast + ctx + phy labels =="
 cmake --preset obs-off
 cmake --build --preset obs-off -j "$(nproc)"
 ctest --preset obs-off-fast

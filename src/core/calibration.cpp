@@ -2,6 +2,7 @@
 
 #include "galvo/factory.hpp"
 #include "geom/mat3.hpp"
+#include "obs/config.hpp"
 
 namespace cyclops::core {
 namespace {
@@ -61,7 +62,13 @@ CalibrationResult calibrate_prototype(sim::Prototype& proto,
     proto.apply_rig_flex(rng);
     proto.scene.set_rig_pose(pose);
     const AlignResult aligned = aligner.align(proto.scene, hint);
-    if (!aligned.success) continue;  // the lab would not record this pose
+    if constexpr (obs::kEnabled) {
+      ctx.registry()
+          .counter("align_status_total",
+                   {{"status", to_string(aligned.status)}})
+          .inc();
+    }
+    if (!aligned.converged()) continue;  // the lab would not record this pose
     hint = aligned.voltages;
     const tracking::PoseReport report = proto.tracker.report(0, pose);
     tuples.push_back({aligned.voltages, report.pose});

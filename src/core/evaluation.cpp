@@ -47,7 +47,7 @@ CombinedErrors evaluate_combined_errors(sim::Prototype& proto,
     // reason the paper gives for the RX's larger combined error.
     proto.apply_rig_flex(rng);
     const AlignResult aligned = aligner.align(proto.scene, hint);
-    if (!aligned.success) continue;
+    if (!aligned.converged()) continue;
     hint = aligned.voltages;
     const sim::Voltages& v = aligned.voltages;
     const tracking::PoseReport report = proto.tracker.report(0, pose);

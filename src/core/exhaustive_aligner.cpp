@@ -65,6 +65,18 @@ std::pair<double, double> raster(double a0, double b0, double half_extent,
 
 }  // namespace
 
+const char* to_string(AlignStatus status) noexcept {
+  switch (status) {
+    case AlignStatus::kConverged:
+      return "converged";
+    case AlignStatus::kMaxIterations:
+      return "max-iterations";
+    case AlignStatus::kDegenerateGeometry:
+      return "degenerate-geometry";
+  }
+  return "unknown";
+}
+
 AlignResult ExhaustiveAligner::align(const sim::Scene& scene,
                                      const sim::Voltages& hint) const {
   AlignResult result = align_once(scene, hint);
@@ -81,7 +93,13 @@ AlignResult ExhaustiveAligner::align(const sim::Scene& scene,
     retry.evaluations += result.evaluations;
     if (retry.power_dbm > result.power_dbm) result = retry;
   }
-  result.success = result.power_dbm >= sensitivity;
+  if (result.power_dbm >= sensitivity) {
+    result.status = AlignStatus::kConverged;
+  } else if (!std::isfinite(result.power_dbm)) {
+    result.status = AlignStatus::kDegenerateGeometry;
+  } else {
+    result.status = AlignStatus::kMaxIterations;
+  }
   return result;
 }
 

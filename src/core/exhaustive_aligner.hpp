@@ -26,14 +26,30 @@ struct AlignerOptions {
   int refine_rounds = 2;
 };
 
+/// Why an alignment search ended the way it did.
+enum class AlignStatus {
+  /// Found power meets the SFP sensitivity — a sample the lab would
+  /// actually record.
+  kConverged,
+  /// The search exhausted its rasters + polish rounds without reaching
+  /// sensitivity; the best point is real but below the SFP floor.
+  kMaxIterations,
+  /// No finite fiber power anywhere the search looked (occluded path,
+  /// rig outside the steerable cone) — the geometry, not the search
+  /// budget, is the problem.
+  kDegenerateGeometry,
+};
+
+const char* to_string(AlignStatus status) noexcept;
+
 struct AlignResult {
   sim::Voltages voltages;
   double power_dbm = 0.0;
   /// Total scene observations consumed (the "minutes of search" proxy).
   int evaluations = 0;
-  /// True when the found power meets the SFP sensitivity — a sample the
-  /// lab would actually record.
-  bool success = false;
+  AlignStatus status = AlignStatus::kMaxIterations;
+
+  bool converged() const noexcept { return status == AlignStatus::kConverged; }
 };
 
 class ExhaustiveAligner {

@@ -1,15 +1,18 @@
 #include "core/persistence.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <span>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace cyclops::core {
 namespace {
 
-constexpr const char* kMagic = "cyclops-calibration v1";
+constexpr const char* kMagicV1 = "cyclops-calibration v1";
+constexpr const char* kMagicV2 = "cyclops-calibration v2";
 
 void write_values(std::ostream& out, const char* key,
                   std::span<const double> values) {
@@ -19,24 +22,47 @@ void write_values(std::ostream& out, const char* key,
   out << '\n';
 }
 
+[[noreturn]] void fail(int line_number, const std::string& what) {
+  throw std::runtime_error("calibration file line " +
+                           std::to_string(line_number) + ": " + what);
+}
+
+/// Parses one `<key> <count doubles>` line, with every rejection naming
+/// the 1-based line and field so a hand-edited or truncated file points
+/// at itself.  `line_number` counts the lines consumed so far (the header
+/// is line 1).
 std::vector<double> expect_line(std::istream& in, const std::string& key,
-                                std::size_t count) {
+                                std::size_t count, int& line_number) {
   std::string line;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("calibration file truncated before " + key);
+    fail(line_number + 1, "file truncated, expected '" + key + "' record");
   }
+  ++line_number;
   std::istringstream ss(line);
   std::string found_key;
   ss >> found_key;
   if (found_key != key) {
-    throw std::runtime_error("calibration file: expected '" + key +
-                             "', found '" + found_key + "'");
+    fail(line_number,
+         "expected '" + key + "' record, found '" + found_key + "'");
   }
   std::vector<double> values;
   double v = 0.0;
-  while (ss >> v) values.push_back(v);
+  while (ss >> v) {
+    if (!std::isfinite(v)) {
+      fail(line_number, "field " + std::to_string(values.size() + 1) +
+                            " of " + key + " is not finite");
+    }
+    values.push_back(v);
+  }
+  if (!ss.eof()) {
+    // The stream stopped on a token that is not a double (e.g. "NaN" spelled
+    // oddly, or stray text) before the line ran out.
+    fail(line_number, "field " + std::to_string(values.size() + 1) + " of " +
+                          key + " is not a number");
+  }
   if (values.size() != count) {
-    throw std::runtime_error("calibration file: wrong arity for " + key);
+    fail(line_number, "expected " + std::to_string(count) + " values for " +
+                          key + ", got " + std::to_string(values.size()));
   }
   return values;
 }
@@ -47,7 +73,7 @@ void save_calibration(const std::filesystem::path& path,
                       const CalibrationResult& calibration) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write " + path.string());
-  out << kMagic << '\n';
+  out << kMagicV2 << '\n';
   write_values(out, "tx_model", calibration.tx_stage1.model.params().pack());
   write_values(out, "rx_model", calibration.rx_stage1.model.params().pack());
   write_values(out, "map_tx", calibration.mapping.map_tx.params());
@@ -66,9 +92,12 @@ CalibrationResult load_calibration(const std::filesystem::path& path) {
   if (!in) throw std::runtime_error("cannot read " + path.string());
   std::string magic;
   std::getline(in, magic);
-  if (magic != kMagic) {
-    throw std::runtime_error("not a cyclops calibration file: " +
-                             path.string());
+  int line_number = 1;
+  // v2 is a header bump (same records); v1 files keep loading.
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    fail(line_number, "not a cyclops calibration header: '" + magic +
+                          "' (expected '" + kMagicV1 + "' or '" + kMagicV2 +
+                          "')");
   }
 
   const auto to_model = [](const std::vector<double>& values) {
@@ -82,13 +111,15 @@ CalibrationResult load_calibration(const std::filesystem::path& path) {
     return geom::Pose::from_params(params);
   };
 
-  const auto tx_values =
-      expect_line(in, "tx_model", galvo::GalvoParams::kParamCount);
-  const auto rx_values =
-      expect_line(in, "rx_model", galvo::GalvoParams::kParamCount);
-  const auto map_tx = expect_line(in, "map_tx", 6);
-  const auto map_rx = expect_line(in, "map_rx", 6);
-  const auto stats = expect_line(in, "stats", 6);
+  const auto tx_values = expect_line(in, "tx_model",
+                                     galvo::GalvoParams::kParamCount,
+                                     line_number);
+  const auto rx_values = expect_line(in, "rx_model",
+                                     galvo::GalvoParams::kParamCount,
+                                     line_number);
+  const auto map_tx = expect_line(in, "map_tx", 6, line_number);
+  const auto map_rx = expect_line(in, "map_rx", 6, line_number);
+  const auto stats = expect_line(in, "stats", 6, line_number);
 
   CalibrationResult result{
       KSpaceFitReport{to_model(tx_values), stats[0], stats[1], 0, true},

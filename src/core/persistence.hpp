@@ -5,12 +5,17 @@
 // power cycles and only re-run Stage 2 on re-deployment or VRH-T drift.
 // The file format is a line-oriented text format:
 //
-//   cyclops-calibration v1
+//   cyclops-calibration v2
 //   tx_model  <25 doubles>
 //   rx_model  <25 doubles>
 //   map_tx    <6 doubles>
 //   map_rx    <6 doubles>
 //   stats     <tx_avg tx_max rx_avg rx_max coincidence_avg coincidence_max>
+//
+// v2 is a header bump over v1 (identical records); the loader accepts
+// both.  Malformed files — truncation, wrong value counts, non-finite or
+// non-numeric fields — are rejected with a std::runtime_error naming the
+// 1-based line and field.
 #pragma once
 
 #include <filesystem>

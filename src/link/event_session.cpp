@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <optional>
 
@@ -13,250 +12,11 @@
 namespace cyclops::link {
 namespace {
 
-/// Hoisted session-plane metric handles; null members when no registry
-/// was passed (or the build has CYCLOPS_OBS=OFF).
-struct SessionMetrics {
-  obs::Counter* realignments = nullptr;
-  obs::Counter* tp_failures = nullptr;
-  obs::Histogram* realign_latency_us = nullptr;
-  obs::Histogram* link_off_us = nullptr;
-
-  explicit SessionMetrics(obs::Registry* registry) {
-    if constexpr (obs::kEnabled) {
-      if (registry != nullptr) {
-        realignments = &registry->counter("session_realignments_total");
-        tp_failures = &registry->counter("session_tp_failures_total");
-        realign_latency_us = &registry->histogram(
-            "session_realign_latency_us", obs::HistogramSpec::duration_us());
-        link_off_us = &registry->histogram("session_link_off_us",
-                                           obs::HistogramSpec::duration_us());
-      }
-    }
-  }
-};
-
-/// State shared by the session processes (single-TX closed loop).
-struct SessionState {
-  sim::Prototype& proto;
-  core::TpController& controller;
-  const motion::MotionProfile& profile;
-  const SimOptions& options;
-  SessionLog* log;
-  SessionMetrics metrics;
-
-  LinkStateMachine link_state;
-  sim::Voltages applied{};
-  std::deque<core::PendingCommand> pending;
-  util::SimTimeUs duration = 0;
-
-  RunResult result;
-
-  // Window accumulators (mirrors run_link_simulation's bookkeeping).
-  util::SimTimeUs window_start = 0;
-  double window_power_sum = 0.0;
-  double window_min_power = std::numeric_limits<double>::infinity();
-  double window_min_power_all = std::numeric_limits<double>::infinity();
-  int window_power_ok_slots = 0;
-  int window_up_slots = 0;
-  int window_slots = 0;
-  double total_up = 0.0;
-  int total_slots = 0;
-
-  // Link-down span tracking for the session_link_off_us histogram
-  // (-1 until the first sampled slot fixes the initial state).
-  int prev_up = -1;
-  util::SimTimeUs down_since = 0;
-
-  /// Applies every command whose settle completed by `now`, logging each
-  /// at its exact apply instant (not the sampling slot).
-  void drain_commands(util::SimTimeUs now) {
-    while (!pending.empty() && now >= pending.front().apply_time) {
-      applied = pending.front().voltages;
-      if (log) {
-        log->on_event(pending.front().apply_time,
-                      SessionEventKind::kRealignment);
-      }
-      pending.pop_front();
-    }
-  }
-};
-
-/// VRH-T process: captures a (noisy, jittered-cadence) report at its
-/// exact capture time, runs the TP controller, and schedules the command
-/// application at the controller's exact DAQ+settle completion time.
-class TrackerProcess final : public event::Process {
- public:
-  TrackerProcess(SessionState& s, event::ProcessId plant) : s_(s), plant_(plant) {}
-
-  void handle(event::Scheduler& sched, const event::Event&) override {
-    const util::SimTimeUs now = sched.now();
-    const geom::Pose pose = s_.profile.pose_at(now);
-    const util::SimTimeUs lag =
-        util::us_from_ms(s_.proto.tracker.config().position_lag_ms);
-    const geom::Pose lagged = s_.profile.pose_at(now > lag ? now - lag : 0);
-    const tracking::PoseReport report =
-        s_.proto.tracker.report(now, pose, lagged);
-    if (!report.lost) {
-      if (auto cmd = s_.controller.on_report(report)) {
-        ++s_.result.realignments;
-        s_.pending.push_back(*cmd);
-        event::Event apply;
-        apply.time = std::max(now, cmd->apply_time);
-        apply.type = kEvApplyCommand;
-        apply.target = plant_;
-        sched.schedule(apply);
-        if constexpr (obs::kEnabled) {
-          if (s_.metrics.realignments != nullptr) {
-            s_.metrics.realignments->inc();
-            s_.metrics.realign_latency_us->record(
-                static_cast<double>(apply.time - now));
-          }
-        }
-      } else {
-        if (s_.log) {
-          s_.log->on_event(report.delivery_time, SessionEventKind::kTpFailure);
-        }
-        if constexpr (obs::kEnabled) {
-          if (s_.metrics.tp_failures != nullptr) s_.metrics.tp_failures->inc();
-        }
-      }
-    }
-    const util::SimTimeUs next = s_.proto.tracker.next_capture_time(now);
-    if (next < s_.duration) {
-      event::Event capture;
-      capture.time = next;
-      capture.type = kEvReportCapture;
-      capture.target = self_;
-      sched.schedule(capture);
-    }
-  }
-
-  void set_self(event::ProcessId self) { self_ = self; }
-  const char* name() const noexcept override { return "tracker"; }
-
- private:
-  SessionState& s_;
-  event::ProcessId plant_;
-  event::ProcessId self_ = event::kNoProcess;
-};
-
-/// Plant process: owns the applied GM voltages; kEvApplyCommand events
-/// land here at their exact completion times.
-class PlantProcess final : public event::Process {
- public:
-  explicit PlantProcess(SessionState& s) : s_(s) {}
-
-  void handle(event::Scheduler& sched, const event::Event&) override {
-    s_.drain_commands(sched.now());
-  }
-
-  const char* name() const noexcept override { return "plant"; }
-
- private:
-  SessionState& s_;
-};
-
-/// Periodic SFP/link sampler: the only fixed-cadence process left — the
-/// optics must be integrated over the continuous rig motion, and the
-/// physics step is that quadrature.  Window flushing matches the legacy
-/// loop so WindowSamples stay comparable.
-class SamplerProcess final : public event::Process {
- public:
-  explicit SamplerProcess(SessionState& s) : s_(s) {}
-
-  void handle(event::Scheduler& sched, const event::Event&) override {
-    const util::SimTimeUs now = sched.now();
-    // Ties between an apply event and a slot at the same microsecond must
-    // resolve apply-first (the legacy loop applies before sampling).
-    s_.drain_commands(now);
-    s_.proto.scene.set_rig_pose(s_.profile.pose_at(now));
-    const double power = s_.proto.scene.received_power_dbm(s_.applied);
-    const bool up = s_.link_state.step(now, power);
-    if (s_.options.on_slot) s_.options.on_slot(now, up, power);
-    if (s_.log) s_.log->on_slot(now, up, power);
-    if constexpr (obs::kEnabled) {
-      if (s_.metrics.link_off_us != nullptr) {
-        // Contiguous down spans, measured slot-edge to slot-edge.
-        if (s_.prev_up != 0 && !up) s_.down_since = now;
-        if (s_.prev_up == 0 && up) {
-          s_.metrics.link_off_us->record(static_cast<double>(now - s_.down_since));
-        }
-        s_.prev_up = up ? 1 : 0;
-      }
-    }
-
-    const optics::SfpSpec& sfp = s_.proto.scene.config().sfp;
-    ++s_.window_slots;
-    ++s_.total_slots;
-    s_.window_min_power_all = std::min(s_.window_min_power_all, power);
-    if (power >= sfp.rx_sensitivity_dbm) ++s_.window_power_ok_slots;
-    if (up) {
-      ++s_.window_up_slots;
-      s_.total_up += 1.0;
-      s_.window_power_sum += power;
-      s_.window_min_power = std::min(s_.window_min_power, power);
-    }
-
-    const util::SimTimeUs step = s_.options.step;
-    if ((now + step) % s_.options.window < step || now + step >= s_.duration) {
-      flush_window(now);
-    }
-    if (now + step < s_.duration) {
-      event::Event slot;
-      slot.time = now + step;
-      slot.type = kEvSlotSample;
-      slot.target = self_;
-      sched.schedule(slot);
-    }
-  }
-
-  void set_self(event::ProcessId self) { self_ = self; }
-  const char* name() const noexcept override { return "sampler"; }
-
- private:
-  void flush_window(util::SimTimeUs now) {
-    WindowSample sample;
-    sample.t_s = util::us_to_s(s_.window_start);
-    const motion::Speeds speeds = motion::measure_speeds(
-        s_.profile, s_.window_start + s_.options.window / 2);
-    sample.linear_speed_mps = speeds.linear_mps;
-    sample.angular_speed_rps = speeds.angular_rps;
-    sample.up_fraction =
-        s_.window_slots > 0
-            ? static_cast<double>(s_.window_up_slots) / s_.window_slots
-            : 0.0;
-    sample.throughput_gbps =
-        sample.up_fraction * s_.proto.scene.config().sfp.goodput_gbps;
-    sample.avg_power_dbm =
-        s_.window_up_slots > 0
-            ? s_.window_power_sum / s_.window_up_slots
-            : -std::numeric_limits<double>::infinity();
-    sample.min_power_dbm =
-        s_.window_up_slots > 0
-            ? s_.window_min_power
-            : -std::numeric_limits<double>::infinity();
-    sample.min_power_all_dbm =
-        s_.window_slots > 0
-            ? s_.window_min_power_all
-            : -std::numeric_limits<double>::infinity();
-    sample.power_ok_fraction =
-        s_.window_slots > 0
-            ? static_cast<double>(s_.window_power_ok_slots) / s_.window_slots
-            : 0.0;
-    s_.result.windows.push_back(sample);
-
-    s_.window_start = now + s_.options.step;
-    s_.window_power_sum = 0.0;
-    s_.window_min_power = std::numeric_limits<double>::infinity();
-    s_.window_min_power_all = std::numeric_limits<double>::infinity();
-    s_.window_power_ok_slots = 0;
-    s_.window_up_slots = 0;
-    s_.window_slots = 0;
-  }
-
-  SessionState& s_;
-  event::ProcessId self_ = event::kNoProcess;
-};
+// The session processes (detail::TrackerProcess / PlantProcess /
+// SamplerProcess) and their shared SessionState live in
+// link/session_core.{hpp,cpp}; this translation unit wires them into the
+// exact-timing discipline: jittered capture events and DAQ+settle applies
+// at their exact microseconds.
 
 /// Shared body of the two public overloads.  `ctx` (nullable) selects the
 /// session-context mode: scheduler on ctx->clock() (reset first) and the
@@ -270,32 +30,28 @@ RunResult run_link_session_events_impl(sim::Prototype& proto,
                                        obs::Registry* registry,
                                        const runtime::Context* ctx) {
   if constexpr (!obs::kEnabled) registry = nullptr;
-  const optics::SfpSpec& sfp = proto.scene.config().sfp;
-  SessionState s{proto,
-                 controller,
-                 profile,
-                 options,
-                 log,
-                 SessionMetrics(registry),
-                 LinkStateMachine(sfp.rx_sensitivity_dbm,
-                                  util::us_from_s(sfp.link_up_delay_s)),
-                 {},
-                 {},
-                 {},
-                 {}};
+  phy::FsoChannel channel(proto.scene);
+  detail::SessionState s{proto,
+                         controller,
+                         profile,
+                         options,
+                         log,
+                         detail::SessionMetrics(registry),
+                         channel};
   s.duration = util::us_from_s(profile.duration_s());
 
   proto.scene.set_rig_pose(profile.pose_at(0));
   if (options.align_at_start) {
     // §5.3 protocol: each run starts from an aligned link.
     const core::PointingResult initial = controller.solver().solve(
-        proto.tracker.ideal_report(proto.scene.rig_pose()), s.applied);
-    s.applied = initial.voltages;
+        proto.tracker.ideal_report(proto.scene.rig_pose()),
+        channel.voltages());
     const core::ExhaustiveAligner polish =
         ctx != nullptr ? core::ExhaustiveAligner({}, *ctx)
                        : core::ExhaustiveAligner();
-    s.applied = polish.align(proto.scene, s.applied).voltages;
-    s.link_state.force_up();
+    channel.set_voltages(
+        polish.align(proto.scene, initial.voltages).voltages);
+    channel.force_up();
   }
   proto.tracker.reset_schedule();  // simulation time restarts at 0
 
@@ -310,12 +66,12 @@ RunResult run_link_session_events_impl(sim::Prototype& proto,
   event::EventCounter counter;
   sched.add_hook(&counter);
 
-  PlantProcess plant(s);
+  detail::PlantProcess plant(s);
   const event::ProcessId plant_id = sched.add_process(&plant);
-  TrackerProcess tracker(s, plant_id);
+  detail::TrackerProcess tracker(s, plant_id);
   const event::ProcessId tracker_id = sched.add_process(&tracker);
   tracker.set_self(tracker_id);
-  SamplerProcess sampler(s);
+  detail::SamplerProcess sampler(s);
   const event::ProcessId sampler_id = sched.add_process(&sampler);
   sampler.set_self(sampler_id);
 
@@ -339,8 +95,7 @@ RunResult run_link_session_events_impl(sim::Prototype& proto,
   }
   sched.run();
 
-  s.result.total_up_fraction =
-      s.total_slots > 0 ? s.total_up / s.total_slots : 0.0;
+  s.tally.finalize(s.result);
   s.result.tp_failures = controller.failures();
   s.result.avg_pointing_iterations = controller.avg_pointing_iterations();
   if (log) log->finish(s.result);
@@ -350,7 +105,7 @@ RunResult run_link_session_events_impl(sim::Prototype& proto,
   }
   if (registry != nullptr) {
     registry->counter("session_slots_total")
-        .inc(static_cast<std::uint64_t>(s.total_slots));
+        .inc(static_cast<std::uint64_t>(s.tally.total_slots));
     registry->counter("session_events_dispatched_total")
         .inc(sched.dispatched());
   }

@@ -19,6 +19,7 @@
 #include "event/scheduler.hpp"
 #include "link/fso_link.hpp"
 #include "link/handover.hpp"
+#include "link/session_core.hpp"
 #include "link/session_log.hpp"
 #include "motion/profile.hpp"
 #include "obs/registry.hpp"
@@ -27,14 +28,8 @@
 
 namespace cyclops::link {
 
-/// Event types of the session processes (payload: i64 = chain index for
-/// apply/switch events).
-enum SessionEventType : event::EventType {
-  kEvReportCapture = 1,  ///< VRH-T captures (and delivers) a pose report.
-  kEvApplyCommand,       ///< A DAQ voltage command finishes settling.
-  kEvSlotSample,         ///< Periodic SFP/link sampling slot.
-  kEvSwitchDone,         ///< Handover switch delay elapsed.
-};
+// SessionEventType (kEvReportCapture & co.) now lives in
+// link/session_core.hpp, shared by every engine built on the core.
 
 struct EventSessionStats {
   std::uint64_t events = 0;     ///< Dispatched by the scheduler.

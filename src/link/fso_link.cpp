@@ -1,33 +1,30 @@
 #include "link/fso_link.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <cmath>
+#include <deque>
 #include <limits>
 
 #include "core/exhaustive_aligner.hpp"
+#include "link/session_core.hpp"
 
 namespace cyclops::link {
-
-bool LinkStateMachine::step(util::SimTimeUs now, double power_dbm) {
-  const bool light = power_dbm >= sensitivity_dbm_;
-  if (!light) {
-    up_ = false;
-    light_ = false;
-    return false;
-  }
-  if (!light_) {
-    light_ = true;
-    light_since_ = now;
-  }
-  if (!up_ && now - light_since_ >= link_up_delay_) up_ = true;
-  return up_;
-}
 
 RunResult run_link_simulation(sim::Prototype& proto,
                               core::TpController& controller,
                               const motion::MotionProfile& profile,
                               const SimOptions& options) {
+  if (options.engine == SessionEngine::kFixedStep) {
+    return run_link_simulation_fixed_step(proto, controller, profile, options);
+  }
+  return detail::run_link_simulation_event(proto, controller, profile,
+                                           options);
+}
+
+RunResult run_link_simulation_fixed_step(sim::Prototype& proto,
+                                         core::TpController& controller,
+                                         const motion::MotionProfile& profile,
+                                         const SimOptions& options) {
   RunResult result;
   const optics::SfpSpec& sfp = proto.scene.config().sfp;
   LinkStateMachine state(sfp.rx_sensitivity_dbm,
@@ -66,6 +63,7 @@ RunResult run_link_simulation(sim::Prototype& proto,
 
   double total_up = 0.0;
   int total_slots = 0;
+  double total_rate = 0.0;
 
   for (util::SimTimeUs now = 0; now < duration; now += options.step) {
     const geom::Pose pose = profile.pose_at(now);
@@ -108,6 +106,7 @@ RunResult run_link_simulation(sim::Prototype& proto,
       window_power_sum += power;
       window_min_power = std::min(window_min_power, power);
     }
+    total_rate += up ? sfp.goodput_gbps : 0.0;
 
     if ((now + options.step) % options.window < options.step ||
         now + options.step >= duration) {
@@ -153,6 +152,7 @@ RunResult run_link_simulation(sim::Prototype& proto,
 
   result.total_up_fraction =
       total_slots > 0 ? total_up / total_slots : 0.0;
+  result.avg_rate_gbps = total_slots > 0 ? total_rate / total_slots : 0.0;
   result.tp_failures = controller.failures();
   result.avg_pointing_iterations = controller.avg_pointing_iterations();
   return result;

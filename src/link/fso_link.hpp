@@ -1,6 +1,14 @@
 // Closed-loop FSO link simulation: rig motion + VRH-T reports + TP
-// realignment + optics + SFP link-state machine, stepped at sub-ms
+// realignment + optics + SFP link-state machine, sampled at sub-ms
 // resolution.  This is the engine behind Figs 13-15.
+//
+// Two engines produce the same WindowSample sequence:
+//   * kEvent (default) — the unified session core on event::Scheduler
+//     (link/session_core): slots between report boundaries are coalesced
+//     into one dispatch, the per-slot arithmetic is the oracle's verbatim.
+//   * kFixedStep — the original 0.5 ms loop, retained as the equivalence
+//     oracle.  Per-window output is exactly equal (enforced in
+//     tests/session_core_test and bench/fig13).
 #pragma once
 
 #include <functional>
@@ -8,10 +16,17 @@
 
 #include "core/tp_controller.hpp"
 #include "motion/profile.hpp"
+#include "phy/link_state.hpp"
 #include "sim/prototype.hpp"
 #include "util/sim_clock.hpp"
 
 namespace cyclops::link {
+
+/// Which engine runs the closed loop (cf. EvalEngine in slot_eval).
+enum class SessionEngine {
+  kEvent,      ///< Unified event-driven session core (default).
+  kFixedStep,  ///< Legacy fixed-step loop — the equivalence oracle.
+};
 
 struct SimOptions {
   util::SimTimeUs step = 500;        ///< Physics step (0.5 ms).
@@ -21,6 +36,7 @@ struct SimOptions {
   /// Optional per-step observer: (time, traffic flows?, received power).
   /// Lets higher layers (e.g. the VR frame streamer) ride the simulation.
   std::function<void(util::SimTimeUs, bool, double)> on_slot;
+  SessionEngine engine = SessionEngine::kEvent;
 };
 
 /// One measurement window (the iperf/50 ms rows of Figs 13-15).
@@ -43,38 +59,31 @@ struct WindowSample {
 struct RunResult {
   std::vector<WindowSample> windows;
   double total_up_fraction = 0.0;
+  /// Mean delivered rate over all slots (Gbps).  For the fixed-rate FSO
+  /// channel this is total_up_fraction * goodput; for rate-adaptive
+  /// channels (phy::MmWaveChannel, phy::WdmChannel via
+  /// run_channel_session) it is the MCS/lane-ladder average.
+  double avg_rate_gbps = 0.0;
   int realignments = 0;
   int tp_failures = 0;
   double avg_pointing_iterations = 0.0;
 };
 
-/// SFP/NIC link-state machine: the link is usable while power >= RX
-/// sensitivity; after any drop it needs `link_up_delay` of continuous
-/// light before traffic flows again (§5.3: "takes a few seconds to
-/// regain the link").
-class LinkStateMachine {
- public:
-  LinkStateMachine(double sensitivity_dbm, util::SimTimeUs link_up_delay)
-      : sensitivity_dbm_(sensitivity_dbm), link_up_delay_(link_up_delay) {}
+/// The SFP/NIC link-state machine now lives in phy (phy/link_state.hpp)
+/// so every channel adapter can reuse it; the old name stays usable.
+using LinkStateMachine = phy::LinkStateMachine;
 
-  /// Feeds one power observation; returns whether traffic flows now.
-  bool step(util::SimTimeUs now, double power_dbm);
-
-  bool up() const noexcept { return up_; }
-  void force_up() noexcept { up_ = true; }
-
- private:
-  double sensitivity_dbm_;
-  util::SimTimeUs link_up_delay_;
-  bool up_ = false;
-  bool light_ = false;
-  util::SimTimeUs light_since_ = 0;
-};
-
-/// Runs the closed loop for the duration of `profile`.
+/// Runs the closed loop for the duration of `profile` on
+/// `options.engine`.
 RunResult run_link_simulation(sim::Prototype& proto,
                               core::TpController& controller,
                               const motion::MotionProfile& profile,
                               const SimOptions& options = {});
+
+/// The fixed-step oracle, callable directly (options.engine is ignored).
+RunResult run_link_simulation_fixed_step(sim::Prototype& proto,
+                                         core::TpController& controller,
+                                         const motion::MotionProfile& profile,
+                                         const SimOptions& options = {});
 
 }  // namespace cyclops::link

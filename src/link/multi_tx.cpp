@@ -6,6 +6,7 @@
 
 #include "event/scheduler.hpp"
 #include "link/event_session.hpp"
+#include "phy/fso_channel.hpp"
 
 namespace cyclops::link {
 
@@ -23,10 +24,12 @@ TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
 
 namespace {
 
-/// Shared mutable state of the multi-TX session processes.
+/// Shared mutable state of the multi-TX session processes.  Each chain's
+/// plant — applied voltages + optics read-out — is its phy::FsoChannel.
 struct MultiTxState {
   std::vector<TxChain>& chains;
   std::vector<core::TpController>& controllers;
+  std::vector<phy::FsoChannel>& channels;
   const MultiTxConfig& config;
   const motion::MotionProfile& profile;
   const std::function<bool(util::SimTimeUs, std::size_t)>& occlusion;
@@ -51,8 +54,8 @@ class MultiTxApplyProcess final : public event::Process {
 
   void handle(event::Scheduler&, const event::Event& ev) override {
     const auto i = static_cast<std::size_t>(ev.i64);
-    assert(i < s_.chains.size() && s_.pending[i]);
-    s_.chains[i].voltages = s_.pending[i]->voltages;
+    assert(i < s_.channels.size() && s_.pending[i]);
+    s_.channels[i].set_voltages(s_.pending[i]->voltages);
     s_.pending[i].reset();
     s_.apply_timers[i] = event::Timer();
   }
@@ -83,14 +86,13 @@ class MultiTxSlotProcess final : public event::Process {
 
     for (std::size_t i = 0; i < s_.chains.size(); ++i) {
       TxChain& chain = s_.chains[i];
-      chain.proto.scene.set_rig_pose(pose);
-      chain.proto.scene.clear_occluders();
+      phy::FsoChannel& channel = s_.channels[i];
+      sim::Scene& scene = channel.scene();
+      scene.clear_occluders();
       if (s_.occlusion && s_.occlusion(now, i)) {
         const geom::Vec3 mid =
-            (chain.proto.scene.tx().mount().translation() +
-             pose.translation()) *
-            0.5;
-        chain.proto.scene.add_occluder({mid, 0.25});
+            (scene.tx().mount().translation() + pose.translation()) * 0.5;
+        scene.add_occluder({mid, 0.25});
       }
       if (do_report) {
         tracking::PoseReport report =
@@ -102,7 +104,7 @@ class MultiTxSlotProcess final : public event::Process {
             sched.cancel(s_.apply_timers[i]);
             s_.pending[i].reset();
             if (cmd->apply_time <= now) {
-              chain.voltages = cmd->voltages;
+              channel.set_voltages(cmd->voltages);
             } else {
               s_.pending[i] = *cmd;
               event::Event apply;
@@ -115,7 +117,7 @@ class MultiTxSlotProcess final : public event::Process {
           }
         }
       }
-      s_.powers[i] = chain.proto.scene.received_power_dbm(chain.voltages);
+      s_.powers[i] = channel.power_at(pose, now);
       if (s_.powers[i] >= s_.sensitivity) ++s_.usable[i];
     }
 
@@ -155,11 +157,15 @@ MultiTxResult run_multi_tx_session_impl(
   if (chains.empty()) return result;
 
   // A TP controller per chain so latency/prediction semantics match the
-  // single-TX simulator.
+  // single-TX simulator, and a phy::FsoChannel per chain as the plant.
   std::vector<core::TpController> controllers;
+  std::vector<phy::FsoChannel> channels;
   controllers.reserve(chains.size());
+  channels.reserve(chains.size());
   for (auto& chain : chains) {
     controllers.emplace_back(chain.solver, config.tp);
+    channels.emplace_back(chain.proto.scene);
+    channels.back().set_voltages(chain.voltages);
   }
 
   std::optional<event::Scheduler> sched_storage;
@@ -176,10 +182,9 @@ MultiTxResult run_multi_tx_session_impl(
   HandoverProcess handover(chains.size(), config.handover, sched, log,
                            registry);
 
-  MultiTxState s{chains,    controllers, config, profile, occlusion, handover,
-                 0.0,       0,           0,      0,       {},        {},
-                 {},        {},          0,      0};
-  s.sensitivity = chains.front().proto.scene.config().sfp.rx_sensitivity_dbm;
+  MultiTxState s{chains, controllers, channels, config,
+                 profile, occlusion, handover};
+  s.sensitivity = channels.front().info().sensitivity;
   s.duration = util::us_from_s(profile.duration_s());
   s.lag = util::us_from_ms(
       chains.front().proto.tracker.config().position_lag_ms);
@@ -202,6 +207,12 @@ MultiTxResult run_multi_tx_session_impl(
     sched.schedule(first);
   }
   sched.run();
+
+  // The channels owned the applied voltages for the session; hand the
+  // final values back so TxChain stays an honest snapshot for callers.
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    chains[i].voltages = channels[i].voltages();
+  }
 
   result.served_fraction =
       s.slots > 0 ? static_cast<double>(s.served) / s.slots : 0.0;

@@ -1,0 +1,69 @@
+// The unified PHY-channel abstraction.
+//
+// Cyclops evaluates its FSO link against a 60 GHz mmWave baseline and a
+// WDM future design (§2.1, §5.3, §8).  All three are, to the session
+// layer, the same thing: a scalar link metric that depends on where the
+// headset is, a rate that metric buys, and a link-state machine that
+// decides whether traffic flows.  phy::Channel captures exactly that
+// contract, so one event-driven session core (link/session_core) can run
+// any of them — including side by side in the same scheduler for
+// heterogeneous FSO→mmWave fallback (link/hetero_session).
+//
+// The metric ("power") is in channel-defined units:
+//   * FsoChannel    — received optical power, dBm (SFP RSSI).
+//   * MmWaveChannel — received SNR, dB.
+//   * WdmChannel    — shared coupling budget margin, dB (higher = less
+//                     geometric loss; each lane subtracts its own
+//                     chromatic penalty from it).
+// Only ordering and the channel's own `sensitivity` threshold give the
+// value meaning; the session core never mixes metrics across channels
+// (handover compares *margins*, metric minus sensitivity).
+#pragma once
+
+#include <string>
+
+#include "geom/pose.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::phy {
+
+/// Static facts the session core needs about a channel.
+struct ChannelInfo {
+  std::string name;
+  /// Goodput when the link is clean (Gbps).
+  double peak_rate_gbps = 0.0;
+  /// Metric floor for a usable link, in the channel's own metric units
+  /// (received dBm for FSO, SNR dB for mmWave, margin dB for WDM).
+  double sensitivity = 0.0;
+  /// True when rate_for() is a ladder (mmWave MCS, WDM lane drop-out)
+  /// rather than all-or-nothing; the session core then reports per-window
+  /// throughput as the mean delivered rate instead of
+  /// up_fraction * peak_rate_gbps.
+  bool rate_adaptive = false;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual const ChannelInfo& info() const noexcept = 0;
+
+  /// Link metric for the headset at `rig_pose` at time `t`.  May mutate
+  /// channel-internal geometry state (the mmWave adapter accumulates head
+  /// rotation for beam retraining), so call once per slot, in time order.
+  virtual double power_at(const geom::Pose& rig_pose, util::SimTimeUs t) = 0;
+
+  /// Instantaneous goodput (Gbps) the metric buys, ignoring link-state
+  /// (re-acquisition, retraining).  Pure.
+  virtual double rate_for(double power) const = 0;
+
+  /// Advances the channel's link-state machine with this slot's metric;
+  /// returns whether traffic flows now (SFP re-acquisition delay for FSO,
+  /// beam-retraining outage for mmWave).
+  virtual bool step(util::SimTimeUs now, double power) = 0;
+
+  /// Marks the link as up/trained — the §5.3 aligned-start protocol.
+  virtual void force_up() {}
+};
+
+}  // namespace cyclops::phy

@@ -1,0 +1,25 @@
+#include "phy/fso_channel.hpp"
+
+namespace cyclops::phy {
+
+ChannelInfo make_sfp_info(const optics::SfpSpec& sfp) {
+  ChannelInfo info;
+  info.name = sfp.name;
+  info.peak_rate_gbps = sfp.goodput_gbps;
+  info.sensitivity = sfp.rx_sensitivity_dbm;
+  info.rate_adaptive = false;
+  return info;
+}
+
+FsoChannel::FsoChannel(sim::Scene& scene)
+    : scene_(scene),
+      info_(make_sfp_info(scene.config().sfp)),
+      state_(scene.config().sfp.rx_sensitivity_dbm,
+             util::us_from_s(scene.config().sfp.link_up_delay_s)) {}
+
+double FsoChannel::power_at(const geom::Pose& rig_pose, util::SimTimeUs) {
+  scene_.set_rig_pose(rig_pose);
+  return scene_.received_power_dbm(applied_);
+}
+
+}  // namespace cyclops::phy

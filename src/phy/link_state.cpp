@@ -1,0 +1,20 @@
+#include "phy/link_state.hpp"
+
+namespace cyclops::phy {
+
+bool LinkStateMachine::step(util::SimTimeUs now, double power_dbm) {
+  const bool light = power_dbm >= sensitivity_dbm_;
+  if (!light) {
+    up_ = false;
+    light_ = false;
+    return false;
+  }
+  if (!light_) {
+    light_ = true;
+    light_since_ = now;
+  }
+  if (!up_ && now - light_since_ >= link_up_delay_) up_ = true;
+  return up_;
+}
+
+}  // namespace cyclops::phy

@@ -1,0 +1,35 @@
+#include "phy/wdm_channel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cyclops::phy {
+
+WdmChannel::WdmChannel(optics::WdmTransceiver transceiver,
+                       optics::CollimatorChromatics collimator,
+                       LossFn shared_loss_db, double link_up_delay_s)
+    : transceiver_(std::move(transceiver)),
+      collimator_(collimator),
+      shared_loss_db_(std::move(shared_loss_db)),
+      state_(0.0, util::us_from_s(link_up_delay_s)) {
+  info_.name = transceiver_.name;
+  info_.peak_rate_gbps = transceiver_.total_rate_gbps();
+  info_.rate_adaptive = true;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < transceiver_.lanes.size(); ++i) {
+    best = std::min(best, lane_threshold(i));
+  }
+  info_.sensitivity = best;
+  // The aggregate link is "lit" once any lane is; the state machine's
+  // threshold is the first lane's.
+  state_ = LinkStateMachine(info_.sensitivity,
+                            util::us_from_s(link_up_delay_s));
+}
+
+double WdmChannel::lane_threshold(std::size_t i) const {
+  const optics::WdmLane& lane = transceiver_.lanes[i];
+  return lane.rx_sensitivity_dbm +
+         collimator_.penalty_db(lane.wavelength_nm) - lane.tx_power_dbm;
+}
+
+}  // namespace cyclops::phy

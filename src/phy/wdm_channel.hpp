@@ -1,0 +1,68 @@
+// phy::Channel adapter for the §6 WDM future design (optics::wdm): four
+// lanes share one steered beam; the geometric coupling loss is common,
+// each lane then pays its chromatic penalty against its own sensitivity.
+//
+// Metric: the shared coupling *budget margin* in dB — minus the shared
+// coupling loss, so larger is better and the per-lane thresholds are
+// fixed offsets.  Lane i is up iff
+//   metric >= lane.rx_sensitivity_dbm + penalty_db(lane) - lane.tx_power_dbm
+// which makes rate_for a 5-step ladder (4..0 lanes); the channel is
+// rate-adaptive to the session core.  ChannelInfo::sensitivity is the
+// best lane's threshold (where the first lane lights up).
+#pragma once
+
+#include <functional>
+
+#include "optics/wdm.hpp"
+#include "phy/channel.hpp"
+#include "phy/link_state.hpp"
+
+namespace cyclops::phy {
+
+class WdmChannel final : public Channel {
+ public:
+  /// Shared coupling loss (dB, >= 0) of the steered beam for the rig at
+  /// `pose` at time `t` — e.g. optics::coupling_loss_from_errors over the
+  /// pose's pointing error.
+  using LossFn = std::function<double(const geom::Pose&, util::SimTimeUs)>;
+
+  /// `link_up_delay_s` models the NIC re-declaring the aggregate link
+  /// (0 = instant, the pure-optics view).
+  WdmChannel(optics::WdmTransceiver transceiver,
+             optics::CollimatorChromatics collimator, LossFn shared_loss_db,
+             double link_up_delay_s = 0.0);
+
+  const ChannelInfo& info() const noexcept override { return info_; }
+
+  double power_at(const geom::Pose& rig_pose, util::SimTimeUs t) override {
+    return -shared_loss_db_(rig_pose, t);
+  }
+
+  double rate_for(double margin_db) const override {
+    return optics::evaluate_wdm_link(transceiver_, collimator_, -margin_db)
+        .aggregate_rate_gbps;
+  }
+
+  bool step(util::SimTimeUs now, double margin_db) override {
+    return state_.step(now, margin_db);
+  }
+
+  void force_up() override { state_.force_up(); }
+
+  /// Metric threshold at which lane `i` comes up (see the ladder note
+  /// above) — the boundary values the phy tests probe.
+  double lane_threshold(std::size_t i) const;
+
+  const optics::WdmTransceiver& transceiver() const noexcept {
+    return transceiver_;
+  }
+
+ private:
+  optics::WdmTransceiver transceiver_;
+  optics::CollimatorChromatics collimator_;
+  LossFn shared_loss_db_;
+  ChannelInfo info_;
+  LinkStateMachine state_;
+};
+
+}  // namespace cyclops::phy

@@ -20,7 +20,8 @@ TEST(AlignerTest, ColdStartFindsLink) {
   sim::Prototype proto = make_proto();
   ExhaustiveAligner aligner;
   const AlignResult r = aligner.align(proto.scene, {});
-  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.converged());
+  EXPECT_EQ(r.status, AlignStatus::kConverged);
   EXPECT_GT(r.power_dbm, proto.scene.config().sfp.rx_sensitivity_dbm + 10.0);
 }
 
@@ -37,7 +38,7 @@ TEST(AlignerTest, WarmStartUsesFewerEvaluations) {
   narrow.rx_scan_step = 0.1;
   const AlignResult warm =
       ExhaustiveAligner(narrow).align(proto.scene, cold.voltages);
-  EXPECT_TRUE(warm.success);
+  EXPECT_TRUE(warm.converged());
   EXPECT_LT(warm.evaluations, cold.evaluations);
   EXPECT_NEAR(warm.power_dbm, cold.power_dbm, 1.0);
 }
@@ -61,7 +62,11 @@ TEST(AlignerTest, FailsHonestlyWhenOccluded) {
   proto.scene.add_occluder({mid, 0.5});
   ExhaustiveAligner aligner;
   const AlignResult r = aligner.align(proto.scene, {});
-  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.converged());
+  // A fully occluded path yields no finite power anywhere: the aligner
+  // must name the geometry, not its own search budget.
+  EXPECT_EQ(r.status, AlignStatus::kDegenerateGeometry);
+  EXPECT_STREQ(to_string(r.status), "degenerate-geometry");
 }
 
 TEST(AlignerTest, AlignedVoltagesNearLocalOptimum) {
@@ -112,7 +117,7 @@ TEST_P(AlignerPoseSweep, AlignsAtExcursion) {
   proto.scene.set_rig_pose(pose);
   ExhaustiveAligner aligner;
   const AlignResult r = aligner.align(proto.scene, {});
-  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.converged()) << to_string(r.status);
 }
 
 INSTANTIATE_TEST_SUITE_P(Poses, AlignerPoseSweep,

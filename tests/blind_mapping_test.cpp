@@ -29,7 +29,7 @@ TEST(BlindMappingTest, SelfCalibratesWithoutManualMeasurement) {
         random_rig_pose(proto.nominal_rig_pose, 0.18, 0.10, rng);
     proto.scene.set_rig_pose(pose);
     const AlignResult aligned = aligner.align(proto.scene, hint);
-    if (!aligned.success) continue;
+    if (!aligned.converged()) continue;
     hint = aligned.voltages;
     tuples.push_back({aligned.voltages, proto.tracker.report(0, pose).pose});
   }

@@ -204,7 +204,7 @@ TEST(MappingFitTest, PerfectDataRecoversMapping) {
         random_rig_pose(proto.nominal_rig_pose, 0.15, 0.1, rng);
     proto.scene.set_rig_pose(pose);
     const AlignResult aligned = aligner.align(proto.scene, hint);
-    ASSERT_TRUE(aligned.success);
+    ASSERT_TRUE(aligned.converged()) << to_string(aligned.status);
     hint = aligned.voltages;
     tuples.push_back({aligned.voltages, proto.tracker.report(0, pose).pose});
   }

@@ -96,7 +96,7 @@ TEST(DriftRecoveryTest, MappingRefreshRestoresPower) {
     // Meanwhile collect fresh aligned tuples for the refresh.
     if (fresh_tuples.size() < 25) {
       const AlignResult aligned = aligner.align(proto.scene, hint);
-      if (aligned.success) {
+      if (aligned.converged()) {
         fresh_tuples.push_back({aligned.voltages, drifted.report(0, pose).pose});
       }
     }

@@ -167,7 +167,7 @@ TEST(AlignerRobustness, RecoversFromBadHint) {
   // A hint deep in a dead corner of the voltage space.
   const core::AlignResult result =
       aligner.align(proto.scene, {9.0, -9.0, 9.0, -9.0});
-  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.converged()) << core::to_string(result.status);
   EXPECT_GT(result.power_dbm, -14.0);
 }
 

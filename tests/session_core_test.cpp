@@ -1,0 +1,239 @@
+// The unified session core's load-bearing guarantee: the event engine's
+// per-window output is EXACTLY equal to the retained fixed-step oracle —
+// every WindowSample field, bit for bit, across linear, angular, and
+// mixed-random motion.  Plus smoke coverage for run_channel_session (a
+// non-FSO phy::Channel on the same core) and run_hetero_session
+// (FSO + mmWave fallback in one scheduler).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "link/fso_link.hpp"
+#include "link/hetero_session.hpp"
+#include "link/session_core.hpp"
+#include "link/session_log.hpp"
+#include "motion/profile.hpp"
+#include "obs/config.hpp"
+#include "obs/registry.hpp"
+#include "phy/mmwave_channel.hpp"
+#include "phy/wdm_channel.hpp"
+#include "util/units.hpp"
+
+namespace cyclops::link {
+namespace {
+
+struct Rig {
+  sim::Prototype proto;
+  core::CalibrationResult calib;
+};
+
+Rig make_rig(std::uint64_t seed) {
+  sim::Prototype proto = sim::make_prototype(seed, sim::prototype_10g_config());
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  core::CalibrationResult calib =
+      core::calibrate_prototype(proto, core::CalibrationConfig{}, rng);
+  return {std::move(proto), std::move(calib)};
+}
+
+/// EXPECT_EQ compares doubles with ==, which is exactly what "bit-exact
+/// oracle" means here (and -inf == -inf holds for the empty-window power
+/// fields).
+void expect_identical(const RunResult& event, const RunResult& oracle,
+                      const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(event.realignments, oracle.realignments);
+  EXPECT_EQ(event.tp_failures, oracle.tp_failures);
+  EXPECT_EQ(event.total_up_fraction, oracle.total_up_fraction);
+  EXPECT_EQ(event.avg_rate_gbps, oracle.avg_rate_gbps);
+  EXPECT_EQ(event.avg_pointing_iterations, oracle.avg_pointing_iterations);
+  ASSERT_EQ(event.windows.size(), oracle.windows.size());
+  for (std::size_t i = 0; i < event.windows.size(); ++i) {
+    SCOPED_TRACE(i);
+    const WindowSample& a = event.windows[i];
+    const WindowSample& b = oracle.windows[i];
+    EXPECT_EQ(a.t_s, b.t_s);
+    EXPECT_EQ(a.throughput_gbps, b.throughput_gbps);
+    EXPECT_EQ(a.avg_power_dbm, b.avg_power_dbm);
+    EXPECT_EQ(a.min_power_dbm, b.min_power_dbm);
+    EXPECT_EQ(a.min_power_all_dbm, b.min_power_all_dbm);
+    EXPECT_EQ(a.power_ok_fraction, b.power_ok_fraction);
+    EXPECT_EQ(a.linear_speed_mps, b.linear_speed_mps);
+    EXPECT_EQ(a.angular_speed_rps, b.angular_speed_rps);
+    EXPECT_EQ(a.up_fraction, b.up_fraction);
+  }
+}
+
+/// Runs the same profile on both engines — each on its own identically
+/// seeded rig, since both consume tracker randomness — and demands
+/// bit-equality.  The rigs are reused across profiles: staying in
+/// lockstep *requires* the engines to draw identical randomness, which is
+/// itself part of the equivalence claim.
+class SessionCoreEquivalence : public ::testing::Test {
+ protected:
+  void run_and_compare(const motion::MotionProfile& profile,
+                       const char* what) {
+    core::TpController event_ctl(event_rig_.calib.make_pointing_solver(),
+                                 core::TpConfig{});
+    SimOptions event_opts;
+    event_opts.engine = SessionEngine::kEvent;
+    const RunResult event =
+        run_link_simulation(event_rig_.proto, event_ctl, profile, event_opts);
+
+    core::TpController oracle_ctl(oracle_rig_.calib.make_pointing_solver(),
+                                  core::TpConfig{});
+    SimOptions oracle_opts;
+    oracle_opts.engine = SessionEngine::kFixedStep;
+    const RunResult oracle = run_link_simulation(oracle_rig_.proto,
+                                                 oracle_ctl, profile,
+                                                 oracle_opts);
+
+    ASSERT_GT(oracle.windows.size(), 10u) << what;
+    expect_identical(event, oracle, what);
+  }
+
+  Rig event_rig_ = make_rig(42);
+  Rig oracle_rig_ = make_rig(42);
+};
+
+TEST_F(SessionCoreEquivalence, AllThreeMotionProfilesBitExact) {
+  const geom::Pose base = event_rig_.proto.nominal_rig_pose;
+
+  run_and_compare(
+      motion::LinearStrokeMotion(base, {1.0, 0.0, 0.0}, 0.10, {0.2, 0.3}),
+      "linear strokes 0.2-0.3 m/s");
+
+  run_and_compare(
+      motion::AngularStrokeMotion(base, {0.0, 1.0, 0.0},
+                                  util::deg_to_rad(15.0),
+                                  {util::deg_to_rad(20.0)}),
+      "angular strokes 20 deg/s");
+
+  motion::MixedRandomMotion::Config mixed;
+  mixed.duration_s = 5.0;
+  mixed.max_linear_speed = 0.15;
+  mixed.max_angular_speed = util::deg_to_rad(20.0);
+  run_and_compare(motion::MixedRandomMotion(base, mixed, util::Rng(99)),
+                  "mixed random 5 s");
+}
+
+// ---- run_channel_session: a non-FSO channel on the same core ----
+
+TEST(ChannelSessionTest, MmWaveStillSessionDeliversPeakRate) {
+  obs::Registry registry;
+  phy::MmWaveChannelConfig config;  // AP at (0, 2.2, 0)
+  phy::MmWaveChannel channel(config, &registry);
+
+  // A still headset ~1 m under the AP: no rotation, no retrain, top MCS.
+  const motion::StillMotion profile(
+      geom::Pose{geom::Mat3::identity(), {0.0, 1.2, 0.0}}, 1.0);
+  ChannelSessionOptions options;
+  options.step = 1000;
+  const RunResult result =
+      run_channel_session(channel, profile, options, &registry);
+
+  EXPECT_DOUBLE_EQ(result.total_up_fraction, 1.0);
+  // NEAR, not EQ: avg_rate is an O(slots) float accumulation.
+  EXPECT_NEAR(result.avg_rate_gbps, channel.info().peak_rate_gbps, 1e-9);
+  EXPECT_EQ(result.windows.size(), 20u);  // 1 s / 50 ms
+  for (const WindowSample& w : result.windows) {
+    EXPECT_DOUBLE_EQ(w.up_fraction, 1.0);
+    // Rate-adaptive channel: throughput is the mean delivered rate.
+    EXPECT_NEAR(w.throughput_gbps, channel.info().peak_rate_gbps, 1e-9);
+  }
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(registry
+                  .counter("channel_session_slots_total",
+                           {{"channel", "mmwave-60ghz"}})
+                  .value(),
+              1000u);
+  }
+}
+
+TEST(ChannelSessionTest, WdmLaneDropoutShowsInWindows) {
+  // Shared loss ramps 0 -> 16 dB over 2 s — through the lane thresholds
+  // (-10.5 / -12.3 dB margin for QSFP28 + commodity collimator) — so
+  // lanes drop out and per-window throughput is monotonically
+  // non-increasing, ending at zero.
+  phy::WdmChannel channel(
+      optics::qsfp28_lr4(), optics::commodity_collimator(),
+      [](const geom::Pose&, util::SimTimeUs t) {
+        return 16.0 * util::us_to_s(t) / 2.0;
+      });
+  const motion::StillMotion profile(geom::Pose{}, 2.0);
+  ChannelSessionOptions options;
+  options.step = 1000;
+  const RunResult result = run_channel_session(channel, profile, options);
+
+  ASSERT_EQ(result.windows.size(), 40u);
+  EXPECT_NEAR(result.windows.front().throughput_gbps,
+              channel.info().peak_rate_gbps, 1e-9);
+  for (std::size_t i = 1; i < result.windows.size(); ++i) {
+    EXPECT_LE(result.windows[i].throughput_gbps,
+              result.windows[i - 1].throughput_gbps);
+  }
+  EXPECT_LT(result.windows.back().throughput_gbps,
+            channel.info().peak_rate_gbps);
+  EXPECT_GT(result.avg_rate_gbps, 0.0);
+  EXPECT_LT(result.avg_rate_gbps, channel.info().peak_rate_gbps);
+}
+
+// ---- run_hetero_session: FSO + mmWave fallback in one scheduler ----
+
+TEST(HeteroSessionTest, OcclusionFailsOverToMmWaveAndBack) {
+  Rig rig = make_rig(42);
+  core::TpController controller(rig.calib.make_pointing_solver(),
+                                core::TpConfig{});
+  phy::MmWaveChannelConfig mm_config;
+  mm_config.ap_position =
+      rig.proto.nominal_rig_pose.translation() + geom::Vec3{0.0, 1.0, 0.0};
+  obs::Registry registry;
+  phy::MmWaveChannel fallback(mm_config, &registry);
+
+  const motion::StillMotion profile(rig.proto.nominal_rig_pose, 4.0);
+  HeteroConfig config;
+  // Block the FSO LOS for one second mid-session.
+  config.fso_occlusion = [](util::SimTimeUs t) {
+    return t >= util::us_from_s(1.0) && t < util::us_from_s(2.0);
+  };
+  SessionLog log;
+  const HeteroResult result = run_hetero_session(
+      rig.proto, controller, fallback, profile, config, &log, &registry);
+
+  ASSERT_EQ(result.channels.size(), 2u);
+  EXPECT_EQ(result.channels[1].name, "mmwave-60ghz");
+  // FSO served before and after the blockage, mmWave during it.
+  EXPECT_GE(result.switches, 2);
+  EXPECT_GT(result.channels[0].serving_fraction, 0.5);
+  EXPECT_GT(result.channels[1].serving_fraction, 0.1);
+  // The fallback radio is usable throughout; FSO loses ~1 s of 4.
+  EXPECT_DOUBLE_EQ(result.channels[1].usable_fraction, 1.0);
+  EXPECT_LT(result.channels[0].usable_fraction, 0.80);
+  EXPECT_GT(result.channels[0].usable_fraction, 0.60);
+  // Traffic kept flowing through the blockage, minus the switch delays.
+  EXPECT_GT(result.served_fraction, 0.85);
+  EXPECT_GT(result.avg_rate_gbps, 1.0);
+  EXPECT_GT(result.events, 0u);
+  EXPECT_FALSE(log.events().empty());
+}
+
+TEST(HeteroSessionTest, CleanRunStaysOnFso) {
+  Rig rig = make_rig(43);
+  core::TpController controller(rig.calib.make_pointing_solver(),
+                                core::TpConfig{});
+  phy::MmWaveChannel fallback{phy::MmWaveChannelConfig{}};
+
+  const motion::StillMotion profile(rig.proto.nominal_rig_pose, 1.0);
+  const HeteroResult result =
+      run_hetero_session(rig.proto, controller, fallback, profile);
+
+  EXPECT_EQ(result.switches, 0);
+  EXPECT_DOUBLE_EQ(result.channels[0].serving_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(result.channels[1].serving_fraction, 0.0);
+  EXPECT_GT(result.served_fraction, 0.99);
+  // FSO at 9.4 Gbps beats the mmWave ceiling the whole way.
+  EXPECT_GT(result.avg_rate_gbps, 9.0);
+}
+
+}  // namespace
+}  // namespace cyclops::link

@@ -63,7 +63,7 @@ TEST(SceneTest, AlignedLinkReachesPeakPower) {
   Prototype proto = make_10g();
   core::ExhaustiveAligner aligner;
   const core::AlignResult r = aligner.align(proto.scene, {});
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.converged()) << core::to_string(r.status);
   // Table 1: peak received power of the diverging design is ~-10 dBm.
   EXPECT_GT(r.power_dbm, -13.0);
   EXPECT_LT(r.power_dbm, -7.0);
@@ -200,7 +200,7 @@ TEST(SceneTest, Prototype25gAlignsAboveSensitivity) {
   Prototype proto = make_prototype(42, prototype_25g_config());
   core::ExhaustiveAligner aligner;
   const core::AlignResult r = aligner.align(proto.scene, {});
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.converged()) << core::to_string(r.status);
   // The 25G design runs on a deliberately thin margin (~5 dB at peak).
   EXPECT_GT(r.power_dbm, proto.scene.config().sfp.rx_sensitivity_dbm + 3.0);
   EXPECT_LT(r.power_dbm, 0.0);
@@ -214,7 +214,7 @@ TEST_P(SeedSweep, AlignedPowerNearDesignPoint) {
   Prototype proto = make_10g(GetParam());
   core::ExhaustiveAligner aligner;
   const core::AlignResult r = aligner.align(proto.scene, {});
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.converged()) << core::to_string(r.status);
   EXPECT_GT(r.power_dbm, -14.0);
   EXPECT_LT(r.power_dbm, -6.0);
 }
