@@ -34,7 +34,10 @@ int main() {
       "conv_pointing",
       {{"serial_ms", serial_ms},
        {"parallel_ms", parallel_ms},
-       {"speedup", serial_ms / parallel_ms}});
+       {"speedup", serial_ms / parallel_ms},
+       {"serial_threads", 1.0},
+       {"parallel_threads",
+        static_cast<double>(util::ThreadPool::global().thread_count())}});
 
   const core::PointingSolver solver = rig.calib.make_pointing_solver();
 

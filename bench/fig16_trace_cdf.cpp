@@ -8,7 +8,14 @@
 // Runs the study on both engines — the legacy fixed-step loop and the
 // discrete-event engine (the default) — checks them bit-identical, and
 // reports the event engine's throughput and speedup.
+//
+// Usage: fig16_trace_cdf [n_traces]
+//   n_traces < 500 is the smoke-gate subset (scripts/check.sh runs 50);
+//   subset runs write BENCH_fig16_smoke.json so the committed full-run
+//   BENCH_fig16.json is never clobbered by a quick gate.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "link/slot_eval.hpp"
@@ -21,7 +28,9 @@ using namespace cyclops;
 
 namespace {
 
-std::vector<motion::Trace> make_dataset(util::ThreadPool& pool) {
+constexpr int kFullTraces = 500;
+
+std::vector<motion::Trace> make_dataset(int n, util::ThreadPool& pool) {
   util::Rng rng(2022);
   const geom::Pose base{geom::Mat3::identity(), {0.0, 0.8, 1.2}};
   // The §5.4 dataset (Lo et al. 360° viewers) is a different population
@@ -31,7 +40,22 @@ std::vector<motion::Trace> make_dataset(util::ThreadPool& pool) {
   gen_config.max_linear_mps = 0.19;
   gen_config.shift_peak_mps = 0.17;
   gen_config.shift_rate_hz = 0.22;
-  return motion::generate_dataset(base, 500, gen_config, rng, pool);
+  return motion::generate_dataset(base, n, gen_config, rng, pool);
+}
+
+/// Best-of-2 wall time for a phase (re-running is safe: both engines are
+/// pure functions of the dataset).  The min discards one-off scheduler
+/// hiccups, so the speedup ratio the smoke gate checks is stable enough
+/// to hold a floor against ±20% single-shot noise.
+template <typename Phase>
+double timed_best_of_2(const Phase& phase) {
+  bench::Timer timer;
+  phase();
+  double best = timer.elapsed_ms();
+  timer.reset();
+  phase();
+  best = std::min(best, timer.elapsed_ms());
+  return best;
 }
 
 bool same_results(const link::DatasetEvalResult& a,
@@ -44,11 +68,14 @@ bool same_results(const link::DatasetEvalResult& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int n_traces =
+      argc > 1 ? std::max(1, std::atoi(argv[1])) : kFullTraces;
   std::printf("== Fig 16: CDF of per-trace disconnected-slot fraction "
-              "(25G, 500 traces, 1 ms slots) ==\n\n");
+              "(25G, %d traces, 1 ms slots) ==\n\n",
+              n_traces);
 
-  const auto traces = make_dataset(util::ThreadPool::global());
+  const auto traces = make_dataset(n_traces, util::ThreadPool::global());
 
   link::SlotEvalConfig legacy_config;  // §5.4 constants (25G tolerances)
   legacy_config.engine = link::EvalEngine::kFixedStep;
@@ -56,21 +83,24 @@ int main() {
   event_config.engine = link::EvalEngine::kEvent;
 
   // Legacy fixed-step oracle, serial: the pre-event-engine baseline.
-  bench::Timer timer;
-  const link::DatasetEvalResult legacy =
-      link::evaluate_dataset(traces, legacy_config, util::ThreadPool::serial());
-  const double legacy_ms = timer.elapsed_ms();
+  link::DatasetEvalResult legacy;
+  const double legacy_ms = timed_best_of_2([&] {
+    legacy = link::evaluate_dataset(traces, legacy_config,
+                                    util::ThreadPool::serial());
+  });
 
   // Event engine, serial then parallel — all three must agree exactly.
-  timer.reset();
-  const link::DatasetEvalResult event_serial =
-      link::evaluate_dataset(traces, event_config, util::ThreadPool::serial());
-  const double event_serial_ms = timer.elapsed_ms();
+  link::DatasetEvalResult event_serial;
+  const double event_serial_ms = timed_best_of_2([&] {
+    event_serial = link::evaluate_dataset(traces, event_config,
+                                          util::ThreadPool::serial());
+  });
 
-  timer.reset();
-  const link::DatasetEvalResult event_parallel =
-      link::evaluate_dataset(traces, event_config, util::ThreadPool::global());
-  const double event_parallel_ms = timer.elapsed_ms();
+  link::DatasetEvalResult event_parallel;
+  const double event_parallel_ms = timed_best_of_2([&] {
+    event_parallel = link::evaluate_dataset(traces, event_config,
+                                            util::ThreadPool::global());
+  });
 
   if (!same_results(legacy, event_serial)) {
     std::fprintf(stderr, "FATAL: event engine differs from fixed-step\n");
@@ -87,13 +117,21 @@ int main() {
       static_cast<double>(util::ThreadPool::global().thread_count());
   const double events_per_sec =
       static_cast<double>(result.events) / (event_parallel_ms * 1e-3);
+  // Per-phase worker counts: the serial phases pin 1 executor by
+  // construction; the parallel phase gets whatever CYCLOPS_THREADS /
+  // hardware concurrency resolved to.  Recorded so a JSON diff across
+  // machines is interpretable.
   bench::write_bench_json(
-      "fig16",
+      n_traces == kFullTraces ? "fig16" : "fig16_smoke",
       {{"legacy_fixed_step_ms", legacy_ms},
        {"event_serial_ms", event_serial_ms},
        {"event_parallel_ms", event_parallel_ms},
        {"legacy_vs_event_speedup", legacy_ms / event_serial_ms},
        {"parallel_speedup", event_serial_ms / event_parallel_ms},
+       {"legacy_threads", 1.0},
+       {"event_serial_threads", 1.0},
+       {"event_parallel_threads", threads},
+       {"timing_reps", 2.0},
        {"events", static_cast<double>(result.events)},
        {"events_per_sec", events_per_sec},
        {"traces", static_cast<double>(traces.size())}});

@@ -44,7 +44,10 @@ int main() {
       "table2",
       {{"serial_ms", serial_ms},
        {"parallel_ms", parallel_ms},
-       {"speedup", serial_ms / parallel_ms}});
+       {"speedup", serial_ms / parallel_ms},
+       {"serial_threads", 1.0},
+       {"parallel_threads",
+        static_cast<double>(util::ThreadPool::global().thread_count())}});
 
   util::Rng rng(17);
   const core::CombinedErrors combined = core::evaluate_combined_errors(

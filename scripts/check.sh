@@ -1,31 +1,55 @@
 #!/usr/bin/env bash
-# The full local gate, three presets back to back:
+# The full local gate, four stages back to back:
 #   1. release      — configure, build, and run the whole suite
 #                     (fast + ctx + slow labels).
-#   2. tsan-fast    — ThreadSanitizer over the quick gate plus the
+#   2. perf smoke   — fig16 on a 50-trace subset; fails if the event
+#                     engine's speedup over the legacy fixed-step loop
+#                     drops below the committed floor (ISSUE-6 exit
+#                     criterion: the DES engine must beat the loop).
+#   3. tsan-fast    — ThreadSanitizer over the quick gate plus the
 #                     context/concurrency isolation tests and the phy
 #                     layer (fast|ctx|phy) — so the event-engine-vs-
 #                     fixed-step equivalence oracle runs under both
 #                     release AND tsan.
-#   3. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
+#   4. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
 #                     proving the telemetry compile-out keeps everything
 #                     green.
-# Any failure stops the script (set -e); a clean exit means all three
+# Any failure stops the script (set -e); a clean exit means all four
 # gates passed.  Run from the repository root:  ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/3] release: configure + build + full test suite =="
+# Floor for the fig16 legacy_vs_event_speedup smoke check.  The full run
+# sits around 1.12x on the reference box (BENCH_fig16.json); the floor
+# leaves headroom for machine noise while still catching a regression
+# back to event-slower-than-legacy.  Timing phases inside fig16 are
+# best-of-2 precisely so this single-shot gate is stable.
+PERF_SPEEDUP_FLOOR="1.0"
+
+echo "== [1/4] release: configure + build + full test suite =="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== [2/3] tsan-fast: ThreadSanitizer, fast + ctx + phy labels =="
+echo "== [2/4] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+(cd "${smoke_dir}" && "${OLDPWD}/build/bench/fig16_trace_cdf" 50 > fig16_smoke.log)
+speedup="$(sed -n 's/.*"legacy_vs_event_speedup": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_fig16_smoke.json")"
+echo "fig16 smoke speedup: ${speedup} (floor ${PERF_SPEEDUP_FLOOR})"
+awk -v s="${speedup}" -v floor="${PERF_SPEEDUP_FLOOR}" \
+  'BEGIN { exit !(s + 0 >= floor + 0) }' || {
+  echo "FAIL: event engine speedup ${speedup} below floor ${PERF_SPEEDUP_FLOOR}" >&2
+  exit 1
+}
+
+echo "== [3/4] tsan-fast: ThreadSanitizer, fast + ctx + phy labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan-fast
 
-echo "== [3/3] obs-off-fast: telemetry compiled out, fast + ctx + phy labels =="
+echo "== [4/4] obs-off-fast: telemetry compiled out, fast + ctx + phy labels =="
 cmake --preset obs-off
 cmake --build --preset obs-off -j "$(nproc)"
 ctest --preset obs-off-fast

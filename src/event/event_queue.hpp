@@ -1,7 +1,25 @@
-// Pending-event set: a binary min-heap keyed on (time, sequence) with
-// deterministic FIFO tie-breaking and O(1) lazy cancellation — the same
-// shape as ROOT-Sim's node_heap_t, plus the cancellable-timer semantics of
-// wisun-br-linux's timer list.
+// Pending-event set with two selectable disciplines behind one interface:
+//
+//   * kBinaryHeap — a single binary min-heap keyed on (time, sequence),
+//     the original design and the equivalence oracle for the calendar.
+//   * kCalendar  — a calendar queue (ROOT-Sim style): a power-of-two ring
+//     of near-future buckets indexed by time epoch, an overflow ladder for
+//     far-future events, and a small binary heap for the bucket currently
+//     being drained.  Pushes into the near future are O(1) appends; pops
+//     heapify one bucket at a time.
+//
+// Both disciplines dispatch in the identical (time, FIFO-sequence) total
+// order — ties pop in push order — which the queue-discipline property
+// test enforces on randomized schedule/cancel/pop workloads.
+//
+// Entry bookkeeping lives in a slab pool: every pushed event borrows a
+// fixed-size slot carrying a generation counter, and the slot returns to a
+// free list when the event pops, cancels, or reschedules.  Steady-state
+// scheduling therefore does zero heap traffic and the pool footprint is
+// bounded by the peak number of concurrently pending events (the old
+// design grew a per-id state vector forever).  Ids encode
+// (generation, slot): a recycled slot bumps its generation, so a stale id
+// can never cancel or resurrect the slot's new occupant.
 #pragma once
 
 #include <cstddef>
@@ -15,49 +33,165 @@ namespace cyclops::event {
 class EventQueue {
  public:
   /// Handle of a pushed event; 0 is never issued (reserved for "invalid").
+  /// Encodes (generation << 32) | (pool slot + 1); ids are NOT monotonic
+  /// (slots recycle) — FIFO tie-breaking uses an internal sequence number.
   using Id = std::uint64_t;
 
-  /// O(log n).  Ids increase monotonically in push order, which is what
-  /// makes equal-time events pop FIFO.
+  enum class Discipline : std::uint8_t { kBinaryHeap, kCalendar };
+
+  /// Calendar geometry.  Defaults suit the link planes: 2^12 us (~4 ms)
+  /// buckets x 256 buckets give a ~1 s near-future window, so 10 ms report
+  /// chains and sub-frame timers land in O(1) buckets while multi-second
+  /// handover timers ride the overflow ladder.
+  struct CalendarConfig {
+    int bucket_width_log2 = 12;  ///< log2 of bucket width in microseconds.
+    int bucket_count_log2 = 8;   ///< log2 of the bucket-ring size.
+  };
+
+  EventQueue() : EventQueue(Discipline::kCalendar) {}
+  explicit EventQueue(Discipline discipline)
+      : EventQueue(discipline, CalendarConfig{}) {}
+  EventQueue(Discipline discipline, CalendarConfig calendar);
+
+  /// O(1) amortized for near-future pushes under kCalendar; O(log n)
+  /// under kBinaryHeap.  Equal-time events pop FIFO in push order.
   Id push(const Event& ev);
 
-  /// Lazy cancel: the entry stays in the heap but will be skipped.
-  /// Returns false when `id` already popped, already cancelled, or never
-  /// issued — cancelling a fired timer is a harmless no-op.
+  /// Cancels a pending event and recycles its slot.  Eager (physical
+  /// removal) when the entry sits in a future bucket or the overflow
+  /// ladder; lazy (skipped at pop time) when it is already in the active
+  /// heap.  Returns false when `id` already popped, already cancelled, or
+  /// never issued — cancelling a fired timer is a harmless no-op.
   bool cancel(Id id);
+
+  /// Atomically replaces a pending event — observably identical to
+  /// cancel(id) + push(ev) (the entry re-enters FIFO order at the back of
+  /// its new timestamp), but mutates bucket/overflow entries in place and
+  /// keeps their pool slot.  Returns the handle of the rescheduled event
+  /// (== `id` when the slot was reused), or 0 when `id` was not pending
+  /// (nothing is pushed in that case).
+  Id reschedule(Id id, const Event& ev);
 
   /// Next live event, or nullptr when empty.  Prunes cancelled entries.
   const Event* peek();
 
+  /// Pops the next live event into `out`; false when the queue is empty.
+  /// The one-call primitive the scheduler hot loop uses (a peek()+pop()
+  /// pair re-checks staleness twice).
+  bool pop_next(Event& out);
+
   /// Pops the next live event.  Precondition: !empty().
   Event pop();
 
-  bool empty() { return peek() == nullptr; }
+  bool empty() const noexcept { return live_ == 0; }
+
+  /// True while `id` names a live (not popped / cancelled / rescheduled-
+  /// away) event.  A recycled slot bumps its generation, so ids issued
+  /// for previous occupants report false here forever.
+  bool pending(Id id) const noexcept { return pending_slot(id) != kNoSlot; }
 
   /// Live (non-cancelled) entries.
   std::size_t size() const noexcept { return live_; }
+
+  Discipline discipline() const noexcept { return discipline_; }
+
+  /// Pool slots ever allocated — bounded by peak concurrency, not by the
+  /// total number of events pushed (what the recycling tests pin down).
+  std::size_t pool_slots() const noexcept { return slots_.size(); }
 
  private:
   struct Entry {
     Event event;
     Id id = 0;
+    std::uint64_t seq = 0;  ///< monotonic push sequence; breaks time ties.
   };
-  enum class State : std::uint8_t { kPending, kCancelled, kPopped };
 
-  /// Min-heap order: earliest time first, lowest id (schedule order) on ties.
+  /// Where a live entry currently lives (drives eager vs lazy cancel).
+  enum Where : std::uint8_t {
+    kFree = 0,   ///< slot on the free list
+    kActive,     ///< in the active heap (binary heap / current bucket)
+    kInBucket,   ///< in a near-future calendar bucket
+    kOverflow,   ///< in the far-future overflow ladder
+  };
+
+  struct Slot {
+    std::uint32_t generation = 0;
+    Where where = kFree;
+    std::uint32_t bucket = 0;  ///< bucket index when kInBucket
+    std::uint32_t pos = 0;     ///< index in its container; free-list next when kFree
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Min-heap order: earliest time first, lowest sequence (push order) on
+  /// ties.
   static bool later(const Entry& a, const Entry& b) noexcept {
     return a.event.time != b.event.time ? a.event.time > b.event.time
-                                        : a.id > b.id;
+                                        : a.seq > b.seq;
   }
-  void prune();
 
-  std::vector<Entry> heap_;
-  /// Per-id lifecycle, indexed by id - 1: ids are issued sequentially, so
-  /// a flat vector beats hash sets on the hot push/pop path (one event per
-  /// report interval and per link-state run adds up — see BENCH_fig16).
-  std::vector<State> states_;
+  static std::uint32_t slot_of(Id id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t generation_of(Id id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static Id make_id(std::uint32_t slot, std::uint32_t generation) noexcept {
+    return (static_cast<Id>(generation) << 32) |
+           (static_cast<Id>(slot) + 1);
+  }
+
+  bool stale(const Entry& e) const noexcept {
+    return slots_[slot_of(e.id)].generation != generation_of(e.id);
+  }
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot) noexcept;
+
+  /// Validates `id` against the pool; kNoSlot when not pending.
+  std::uint32_t pending_slot(Id id) const noexcept;
+
+  std::int64_t epoch_of(util::SimTimeUs t) const noexcept {
+    return t >> width_log2_;
+  }
+
+  /// Files `entry` (whose slot is already allocated) into the right
+  /// container for its timestamp under the current window.
+  void place(const Entry& entry);
+  /// Swap-removes the entry a pending slot points at from its bucket or
+  /// overflow vector, fixing the displaced entry's back-pointer.
+  void remove_placed(std::uint32_t slot) noexcept;
+
+  /// Advances cur_epoch_ to the next epoch holding live entries and loads
+  /// that epoch's entries into the active heap.  Pre: no live entry in
+  /// active_, live_ > 0.
+  void advance_window();
+  /// Redistributes the overflow ladder under the current window; entries
+  /// at cur_epoch_ join active_ (caller re-heapifies).
+  void rebucket_overflow();
+  /// Drops stale entries off the top of active_; false when it empties.
+  bool settle_active();
+  /// Removes active_'s min entry (size-1 heaps skip the sift entirely).
+  void pop_active_top() noexcept;
+
+  Discipline discipline_;
+  int width_log2_ = 0;
+  std::int64_t bucket_mask_ = 0;   ///< bucket_count - 1
+  std::int64_t bucket_count_ = 0;
+
+  /// kBinaryHeap: the one heap.  kCalendar: heap of the bucket being
+  /// drained (the only place cancellation is lazy).
+  std::vector<Entry> active_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> overflow_;
+  std::int64_t cur_epoch_ = 0;
+  std::size_t in_window_ = 0;  ///< live entries across buckets_
+  std::int64_t overflow_min_epoch_ = 0;  ///< lower bound; exact after rebucket
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
-  Id next_id_ = 1;
 };
 
 }  // namespace cyclops::event

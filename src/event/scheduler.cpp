@@ -35,8 +35,28 @@ bool Scheduler::cancel(const Timer& timer) {
   return true;
 }
 
+bool Scheduler::reschedule(Timer& timer, const Event& ev) {
+  assert(ev.time >= clock_->now() && "cannot schedule into the past");
+  assert(ev.target < processes_.size() && "event targets no process");
+  if (timer.valid()) {
+    const EventQueue::Id new_id = queue_.reschedule(timer.id_, ev);
+    if (new_id != 0) {
+      // Counter/hook parity with an explicit cancel()+schedule() pair, so
+      // EventCounter tallies and the JSONL trace cannot tell the two
+      // idioms apart.
+      for (TraceHook* hook : hooks_) hook->on_cancel(*this, Event{});
+      ++scheduled_;
+      for (TraceHook* hook : hooks_) hook->on_schedule(*this, ev);
+      timer = Timer(new_id);
+      return true;
+    }
+  }
+  timer = schedule(ev);
+  return false;
+}
+
 void Scheduler::dispatch(const Event& ev) {
-  clock_->advance(ev.time - clock_->now());
+  clock_->advance_to(ev.time);
   ++dispatched_;
   for (TraceHook* hook : hooks_) hook->on_dispatch(*this, ev);
   assert(ev.target < processes_.size());
@@ -44,24 +64,46 @@ void Scheduler::dispatch(const Event& ev) {
 }
 
 bool Scheduler::step() {
-  if (queue_.empty()) return false;
-  dispatch(queue_.pop());
+  Event ev;
+  if (!queue_.pop_next(ev)) return false;
+  dispatch(ev);
   return true;
 }
 
 std::uint64_t Scheduler::run_until(util::SimTimeUs t_end) {
   std::uint64_t n = 0;
   const Event* next;
-  while ((next = queue_.peek()) != nullptr && next->time <= t_end) {
-    dispatch(queue_.pop());
-    ++n;
+  if (hooks_.empty()) {
+    // Hook check hoisted; one clock store per event.
+    while ((next = queue_.peek()) != nullptr && next->time <= t_end) {
+      const Event ev = queue_.pop();
+      clock_->advance_to(ev.time);
+      ++dispatched_;
+      processes_[ev.target]->handle(*this, ev);
+      ++n;
+    }
+  } else {
+    while ((next = queue_.peek()) != nullptr && next->time <= t_end) {
+      dispatch(queue_.pop());
+      ++n;
+    }
   }
-  if (t_end > clock_->now()) clock_->advance(t_end - clock_->now());
+  if (t_end > clock_->now()) clock_->advance_to(t_end);
   return n;
 }
 
 std::uint64_t Scheduler::run() {
   std::uint64_t n = 0;
+  if (hooks_.empty()) {
+    Event ev;
+    while (queue_.pop_next(ev)) {
+      clock_->advance_to(ev.time);
+      ++dispatched_;
+      processes_[ev.target]->handle(*this, ev);
+      ++n;
+    }
+    return n;
+  }
   while (step()) ++n;
   return n;
 }

@@ -1,9 +1,20 @@
-// The event loop: owns the clock and the pending-event heap, dispatches
+// The event loop: owns the clock and the pending-event queue, dispatches
 // typed events to registered processes, and hands out cancellable Timer
 // handles.  One Scheduler == one deterministic simulation; parallel
 // workloads run one scheduler per trace/session (see DESIGN.md §9).
+//
+// The queue discipline is selectable at construction: kCalendar (the
+// default production engine) or kBinaryHeap (the original heap, kept as
+// the equivalence oracle).  Dispatch order is identical either way.
+//
+// Hot-path structure (DESIGN.md §13): run()/run_until() hoist the
+// hook-presence check out of the loop and batch clock updates into a
+// single store per event; run_single<P>() additionally devirtualizes
+// dispatch for the one-process-per-engine pattern the per-trace
+// evaluators use.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -31,14 +42,19 @@ class Timer {
 
 class Scheduler {
  public:
+  using Discipline = EventQueue::Discipline;
+
   /// Self-clocked scheduler (the common per-trace case: every parallel
   /// eval engine owns an independent timeline).
-  Scheduler() noexcept : clock_(&own_clock_) {}
+  explicit Scheduler(Discipline discipline = Discipline::kCalendar) noexcept
+      : queue_(discipline), clock_(&own_clock_) {}
   /// Rides an external clock — a runtime::Context's session clock, so the
   /// session timeline outlives this scheduler and other components can
   /// read the same `now`.  The clock must outlive the scheduler; events
   /// must respect whatever time it already shows.
-  explicit Scheduler(util::SimClock& clock) noexcept : clock_(&clock) {}
+  explicit Scheduler(util::SimClock& clock,
+                     Discipline discipline = Discipline::kCalendar) noexcept
+      : queue_(discipline), clock_(&clock) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -59,6 +75,14 @@ class Scheduler {
   /// dispatched or was already cancelled — safe to call either way.
   bool cancel(const Timer& timer);
 
+  /// Replaces `timer`'s pending event with `ev` — observably identical to
+  /// cancel(timer) + timer = schedule(ev) (hooks and counters included),
+  /// but the queue mutates bucket entries in place instead of
+  /// cancel+reinsert.  When `timer` was invalid or already fired, plain
+  /// schedule semantics apply.  Returns true when a pending event was
+  /// superseded.
+  bool reschedule(Timer& timer, const Event& ev);
+
   /// Dispatches the next event, advancing the clock to its time.
   /// Returns false when no live events remain.
   bool step();
@@ -70,10 +94,31 @@ class Scheduler {
   /// Dispatches until the queue drains.
   std::uint64_t run();
 
+  /// Devirtualized drain for single-process engines: `proc` must be this
+  /// scheduler's only registered process (and `P` its final type), and no
+  /// hooks may be registered.  The qualified call lets the compiler
+  /// statically dispatch — and inline — the handler.
+  template <typename P>
+  std::uint64_t run_single(P& proc) {
+    assert(processes_.size() == 1 && processes_[0] == &proc &&
+           "run_single requires exactly the one registered process");
+    assert(hooks_.empty() && "run_single skips hooks; use run()");
+    std::uint64_t n = 0;
+    Event ev;
+    while (queue_.pop_next(ev)) {
+      clock_->advance_to(ev.time);
+      ++dispatched_;
+      proc.P::handle(*this, ev);
+      ++n;
+    }
+    return n;
+  }
+
   util::SimTimeUs now() const noexcept { return clock_->now(); }
-  bool empty() { return queue_.empty(); }
+  bool empty() const noexcept { return queue_.empty(); }
   std::uint64_t dispatched() const noexcept { return dispatched_; }
   std::uint64_t scheduled() const noexcept { return scheduled_; }
+  Discipline discipline() const noexcept { return queue_.discipline(); }
 
   /// Label of a registered process (for trace hooks).
   const char* process_name(ProcessId id) const noexcept;

@@ -1,15 +1,17 @@
 // Discrete-event engine for the §5.4 trace-driven connectivity study.
 //
-// Instead of stepping every 1 ms slot, the engine dispatches one report
-// event per trace interval; the TP drift process locates the off/on slot
-// runs inside the interval by bisecting the (monotone) per-slot predicate
-// shared with the fixed-step engine, and emits link-state run events at
-// their exact microsecond start times.  The frame accountant then tallies
-// §5.4's 30-slot frames chunk-wise in O(total_slots / 30).
+// Instead of stepping every 1 ms slot, the engine dispatches ONE report
+// event per trace interval to a fused evaluator process; each dispatch
+// locates the off/on slot runs inside the interval by bisecting the
+// (monotone) per-slot predicate shared with the fixed-step engine — with
+// the region endpoints probed first, so mostly-connected intervals
+// resolve in 1–2 probes — and tallies the runs straight into the §5.4
+// 30-slot frame accumulator.  Dispatch is devirtualized via
+// Scheduler::run_single (DESIGN.md §13).
 //
 // The result is bit-identical to evaluate_trace_fixed_step — same
 // residual model, same float comparisons — with ~slot_count fewer
-// predicate evaluations per interval.
+// predicate evaluations per interval and ~1 event per interval.
 #pragma once
 
 #include <cstdint>
@@ -20,12 +22,9 @@
 
 namespace cyclops::link {
 
-/// Event types of the trace evaluator (payload i64 = interval index for
-/// kReportInterval, run length in slots for k{On,Off}Run).
+/// Event types of the trace evaluator (payload i64 = interval index).
 enum TraceEvalEventType : event::EventType {
   kEvReportInterval = 1,  ///< TP report at a trace sample; starts an interval.
-  kEvOnRun,               ///< A run of connected slots begins.
-  kEvOffRun,              ///< A run of disconnected slots begins.
 };
 
 struct EventEvalStats {

@@ -100,10 +100,11 @@ class MultiTxSlotProcess final : public event::Process {
         if (!report.lost) {
           if (auto cmd = s_.controllers[i].on_report(report)) {
             // A newer command supersedes an un-applied older one (the
-            // legacy pending-slot overwrite): cancel its timer.
-            sched.cancel(s_.apply_timers[i]);
-            s_.pending[i].reset();
+            // legacy pending-slot overwrite).
             if (cmd->apply_time <= now) {
+              sched.cancel(s_.apply_timers[i]);
+              s_.apply_timers[i] = event::Timer();
+              s_.pending[i].reset();
               channel.set_voltages(cmd->voltages);
             } else {
               s_.pending[i] = *cmd;
@@ -112,7 +113,9 @@ class MultiTxSlotProcess final : public event::Process {
               apply.type = kEvApplyCommand;
               apply.target = apply_id_;
               apply.i64 = static_cast<std::int64_t>(i);
-              s_.apply_timers[i] = sched.schedule(apply);
+              // Mutates the pending timer in place (same queue slot) when
+              // one is still live; schedules afresh otherwise.
+              sched.reschedule(s_.apply_timers[i], apply);
             }
           }
         }

@@ -89,17 +89,28 @@ DatasetEvalResult evaluate_dataset(const std::vector<motion::Trace>& traces,
   // trace, each writing only its own slot), then merge in trace order so
   // counters and the pooled frame histogram match the serial path exactly.
   // Metrics follow the same discipline: each chunk records into its own
-  // registry shard (chunk indices are stable for a given n and thread
+  // registry shard (chunk ranges are static for a given n and chunk
   // count, and metric updates are integer adds), and the shards fold into
   // `registry` in chunk order below — bit-identical at any thread count.
-  struct PerTrace {
+  //
+  // Chunk geometry: several chunks per executor, pulled from the pool's
+  // atomic dispenser, so a straggler trace can't idle the other workers
+  // (500 traces in thread_count chunks left workers stalled on the
+  // slowest chunk).  Each slot is cache-line aligned: adjacent traces
+  // finish on different threads at chunk boundaries, and 64-byte padding
+  // keeps their result writes from false-sharing a line.
+  struct alignas(64) PerTrace {
     SlotEvalResult result;
     std::uint64_t events = 0;
   };
+  const std::size_t chunks =
+      std::min(traces.size(), 4 * pool.thread_count());
   std::vector<PerTrace> per_trace(traces.size());
-  obs::ShardedRegistry shards(registry != nullptr ? pool.thread_count() : 1);
+  obs::ShardedRegistry shards(registry != nullptr ? std::max<std::size_t>(
+                                                        1, chunks)
+                                                  : 1);
   pool.run_chunked(
-      traces.size(),
+      traces.size(), chunks,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         obs::Registry* shard =
             registry != nullptr ? &shards.shard(chunk) : nullptr;

@@ -32,6 +32,13 @@ class SimClock {
     assert(dt >= 0 && "SimClock cannot run backwards");
     now_ += dt;
   }
+  /// Jump directly to `t` (>= now).  The event-loop hot path uses this to
+  /// turn per-event clock updates into a single store instead of a
+  /// read-subtract-add round trip.
+  void advance_to(SimTimeUs t) noexcept {
+    assert(t >= now_ && "SimClock cannot run backwards");
+    now_ = t;
+  }
   void reset() noexcept { now_ = 0; }
 
  private:

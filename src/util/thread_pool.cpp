@@ -67,14 +67,25 @@ std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
 }
 
 void ThreadPool::run_chunked(std::size_t n, const ChunkBody& body) {
+  run_chunked(n, thread_count(), body);
+}
+
+void ThreadPool::run_chunked(std::size_t n, std::size_t chunks,
+                             const ChunkBody& body) {
   if (n == 0) return;
+  chunks = std::max<std::size_t>(1, std::min(n, chunks));
   stat_jobs_.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t chunks = std::min(n, thread_count());
   if (workers_.empty() || chunks == 1 || tl_inline_depth > 0) {
     stat_inline_jobs_.fetch_add(1, std::memory_order_relaxed);
-    stat_chunks_.fetch_add(1, std::memory_order_relaxed);
+    stat_chunks_.fetch_add(chunks, std::memory_order_relaxed);
     ++tl_inline_depth;
-    body(0, 0, n);
+    // Inline execution still honors the chunk geometry: per-chunk scratch
+    // (registry shards, output slots) must see the same chunk indices the
+    // parallel path would use.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = chunk_range(n, chunks, c);
+      body(c, begin, end);
+    }
     --tl_inline_depth;
     return;
   }
@@ -88,14 +99,15 @@ void ThreadPool::run_chunked(std::size_t n, const ChunkBody& body) {
     job_n_ = n;
     job_chunks_ = chunks;
     remaining_ = workers_.size();
+    next_chunk_.store(0, std::memory_order_relaxed);
     ++generation_;
   }
   cv_start_.notify_all();
 
-  // The caller is executor 0; workers take chunks 1..chunks-1.
-  const auto [begin, end] = chunk_range(n, chunks, 0);
+  // The caller is executor 0; every executor pulls chunk indices from the
+  // dispenser until it runs dry.
   ++tl_inline_depth;
-  body(0, begin, end);
+  drain_chunks(n, chunks, body);
   --tl_inline_depth;
 
   const auto wait_start = std::chrono::steady_clock::now();
@@ -108,6 +120,16 @@ void ThreadPool::run_chunked(std::size_t n, const ChunkBody& body) {
                           std::memory_order_relaxed);
 }
 
+void ThreadPool::drain_chunks(std::size_t n, std::size_t chunks,
+                              const ChunkBody& body) {
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunks) return;
+    const auto [begin, end] = chunk_range(n, chunks, c);
+    body(c, begin, end);
+  }
+}
+
 ThreadPool::Stats ThreadPool::stats() const noexcept {
   Stats s;
   s.jobs = stat_jobs_.load(std::memory_order_relaxed);
@@ -118,7 +140,7 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   return s;
 }
 
-void ThreadPool::worker_main(std::size_t worker_index) {
+void ThreadPool::worker_main(std::size_t) {
   std::uint64_t seen = 0;
   for (;;) {
     const ChunkBody* body = nullptr;
@@ -133,13 +155,9 @@ void ThreadPool::worker_main(std::size_t worker_index) {
       n = job_n_;
       chunks = job_chunks_;
     }
-    const std::size_t c = worker_index + 1;
-    if (c < chunks) {
-      const auto [begin, end] = chunk_range(n, chunks, c);
-      ++tl_inline_depth;
-      (*body)(c, begin, end);
-      --tl_inline_depth;
-    }
+    ++tl_inline_depth;
+    drain_chunks(n, chunks, *body);
+    --tl_inline_depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--remaining_ == 0) cv_done_.notify_one();

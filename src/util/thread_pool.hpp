@@ -50,6 +50,16 @@ class ThreadPool {
   /// an active SerialScope.
   void run_chunked(std::size_t n, const ChunkBody& body);
 
+  /// Same, but with an explicit chunk count (clamped to [1, n]).  More
+  /// chunks than executors are handed out through an atomic dispenser, so
+  /// a straggler chunk no longer idles every other worker — the
+  /// load-balancing fix for datasets whose items vary in cost.  Chunk
+  /// index -> range stays the static chunk_range geometry and each chunk
+  /// may write only state owned by its index, so results remain
+  /// bit-identical at any thread count (which executor RUNS a chunk is
+  /// nondeterministic; what the chunk computes is not).
+  void run_chunked(std::size_t n, std::size_t chunks, const ChunkBody& body);
+
   /// Static chunk geometry: the index range of chunk c when [0, n) is
   /// split into `chunks` near-equal contiguous pieces.
   static std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
@@ -99,6 +109,8 @@ class ThreadPool {
 
  private:
   void worker_main(std::size_t worker_index);
+  /// Pulls chunks off next_chunk_ and runs them until the job drains.
+  void drain_chunks(std::size_t n, std::size_t chunks, const ChunkBody& body);
 
   std::vector<std::thread> workers_;
 
@@ -112,6 +124,8 @@ class ThreadPool {
   std::size_t remaining_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  /// Next undispatched chunk of the in-flight job (the dispenser).
+  std::atomic<std::size_t> next_chunk_{0};
 
   // Serializes concurrent submitters so one job is in flight at a time.
   std::mutex submit_mu_;

@@ -1,0 +1,230 @@
+// EventQueue discipline equivalence + slab-pool recycling (ISSUE 6).
+//
+// The calendar queue is only allowed to exist because it is
+// observationally identical to the binary heap: same (time, FIFO) pop
+// order under any interleaving of push / cancel / reschedule / pop.
+// These tests drive both disciplines through the same randomized
+// scripts and demand identical event streams, then pin the pool-slot
+// recycling rules (bounded slab, generation-guarded ids) directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "event/event_queue.hpp"
+#include "event/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace cyclops {
+namespace {
+
+using event::Event;
+using event::EventQueue;
+using Id = EventQueue::Id;
+using Discipline = EventQueue::Discipline;
+
+Event make_event(util::SimTimeUs time, std::int64_t tag) {
+  Event ev;
+  ev.time = time;
+  ev.type = 7;
+  ev.i64 = tag;
+  return ev;
+}
+
+/// Runs the same randomized op script against both disciplines and
+/// checks the popped streams match exactly.  Ids differ between the two
+/// queues (the pool recycles slots in allocation order, the heap in its
+/// own), so the script tracks paired ids and always cancels/reschedules
+/// the SAME logical event in both.
+void run_equivalence_script(std::uint64_t seed, double cancel_bias) {
+  util::Rng rng(seed);
+  EventQueue heap(Discipline::kBinaryHeap);
+  // Narrow buckets + a small ring so the script crosses bucket windows
+  // and the overflow ladder constantly, not just in the far tail.
+  EventQueue cal(Discipline::kCalendar,
+                 EventQueue::CalendarConfig{/*bucket_width_log2=*/4,
+                                            /*bucket_count_log2=*/3});
+  std::vector<std::pair<Id, Id>> live;  // (heap id, calendar id)
+  util::SimTimeUs now = 0;
+  std::int64_t next_tag = 0;
+  std::vector<std::int64_t> heap_tags, cal_tags;
+  std::vector<util::SimTimeUs> heap_times, cal_times;
+
+  for (int op = 0; op < 4000; ++op) {
+    const double r = rng.uniform();
+    if (r < 0.45 || live.empty()) {
+      // Push: mixed near/far offsets; duplicate times are common (the
+      // FIFO tie-break is the property most worth hammering).
+      const util::SimTimeUs t =
+          now + static_cast<util::SimTimeUs>(rng.uniform_index(48));
+      const Event ev = make_event(t, next_tag++);
+      live.emplace_back(heap.push(ev), cal.push(ev));
+    } else if (r < 0.45 + cancel_bias) {
+      const std::size_t pick = rng.uniform_index(live.size());
+      const bool a = heap.cancel(live[pick].first);
+      const bool b = cal.cancel(live[pick].second);
+      ASSERT_EQ(a, b);
+      ASSERT_TRUE(a);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (r < 0.45 + cancel_bias + 0.15) {
+      // Reschedule a random pending event to a fresh future time.
+      const std::size_t pick = rng.uniform_index(live.size());
+      const util::SimTimeUs t =
+          now + static_cast<util::SimTimeUs>(rng.uniform_index(96));
+      const Event ev = make_event(t, next_tag++);
+      live[pick].first = heap.reschedule(live[pick].first, ev);
+      live[pick].second = cal.reschedule(live[pick].second, ev);
+      ASSERT_NE(live[pick].first, 0u);
+      ASSERT_NE(live[pick].second, 0u);
+    } else {
+      Event ha, ca;
+      ASSERT_EQ(heap.pop_next(ha), cal.pop_next(ca));
+      ASSERT_EQ(ha.time, ca.time);
+      ASSERT_EQ(ha.i64, ca.i64);
+      heap_tags.push_back(ha.i64);
+      cal_tags.push_back(ca.i64);
+      heap_times.push_back(ha.time);
+      cal_times.push_back(ca.time);
+      ASSERT_GE(ha.time, now);  // pops are monotone
+      now = ha.time;
+      // The popped event is no longer cancellable; drop it from `live`
+      // by matching either id.
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](const std::pair<Id, Id>& p) {
+                                  return !heap.pending(p.first);
+                                }),
+                 live.end());
+    }
+    ASSERT_EQ(heap.size(), cal.size());
+    ASSERT_EQ(heap.empty(), cal.empty());
+  }
+
+  // Drain both and compare the full remaining stream.
+  Event ha, ca;
+  while (heap.pop_next(ha)) {
+    ASSERT_TRUE(cal.pop_next(ca));
+    ASSERT_EQ(ha.time, ca.time);
+    ASSERT_EQ(ha.i64, ca.i64);
+  }
+  ASSERT_FALSE(cal.pop_next(ca));
+  EXPECT_EQ(heap_tags, cal_tags);
+  EXPECT_EQ(heap_times, cal_times);
+}
+
+TEST(EventQueueEquivalence, RandomizedScriptsMatchHeap) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    run_equivalence_script(seed, /*cancel_bias=*/0.10);
+  }
+}
+
+TEST(EventQueueEquivalence, CancelHeavyScriptsMatchHeap) {
+  for (std::uint64_t seed = 100; seed <= 104; ++seed) {
+    run_equivalence_script(seed, /*cancel_bias=*/0.30);
+  }
+}
+
+TEST(EventQueueEquivalence, FifoOrderPreservedForEqualTimes) {
+  for (const Discipline disc :
+       {Discipline::kBinaryHeap, Discipline::kCalendar}) {
+    EventQueue q(disc);
+    for (std::int64_t i = 0; i < 64; ++i) q.push(make_event(10, i));
+    Event ev;
+    for (std::int64_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(q.pop_next(ev));
+      EXPECT_EQ(ev.i64, i) << "discipline broke FIFO among equal times";
+    }
+  }
+}
+
+TEST(EventQueueEquivalence, EmptyQueueJumpAcrossWindows) {
+  // Single-pending-timer chains (the event_eval shape): each push lands
+  // in an empty queue at a time arbitrarily far past the calendar
+  // window.  Pops must track exactly.
+  EventQueue q(Discipline::kCalendar,
+               EventQueue::CalendarConfig{4, 3});
+  util::SimTimeUs t = 0;
+  util::Rng rng(9);
+  Event ev;
+  for (int i = 0; i < 1000; ++i) {
+    t += static_cast<util::SimTimeUs>(1 + rng.uniform_index(1u << 14));
+    q.push(make_event(t, i));
+    ASSERT_TRUE(q.pop_next(ev));
+    EXPECT_EQ(ev.time, t);
+    EXPECT_EQ(ev.i64, i);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueuePool, SlabStaysBoundedUnderChurn) {
+  for (const Discipline disc :
+       {Discipline::kBinaryHeap, Discipline::kCalendar}) {
+    EventQueue q(disc);
+    Event ev;
+    util::SimTimeUs t = 0;
+    for (int i = 0; i < 64; ++i) q.push(make_event(t + i, i));
+    // Steady-state churn recycles freed slots; the slab must not grow
+    // past the high-water mark of concurrently-live events.
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_TRUE(q.pop_next(ev));
+      q.push(make_event(ev.time + 64, ev.i64));
+    }
+    EXPECT_LE(q.pool_slots(), 64u) << "pool leaked slots under churn";
+  }
+}
+
+TEST(EventQueuePool, StaleIdNeverResurrectsRecycledSlot) {
+  for (const Discipline disc :
+       {Discipline::kBinaryHeap, Discipline::kCalendar}) {
+    EventQueue q(disc);
+    const Id dead = q.push(make_event(5, 1));
+    ASSERT_TRUE(q.cancel(dead));
+    // The freed slot is recycled by the next push; the old id's
+    // generation no longer matches.
+    const Id heir = q.push(make_event(6, 2));
+    ASSERT_NE(dead, heir);
+    EXPECT_FALSE(q.pending(dead));
+    EXPECT_FALSE(q.cancel(dead)) << "stale id cancelled the new occupant";
+    EXPECT_TRUE(q.pending(heir));
+    Event ev;
+    ASSERT_TRUE(q.pop_next(ev));
+    EXPECT_EQ(ev.i64, 2);
+    // Popped ids go stale the same way cancelled ones do.
+    EXPECT_FALSE(q.cancel(heir));
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueuePool, GenerationSurvivesManyRecycles) {
+  EventQueue q;
+  std::vector<Id> history;
+  for (int i = 0; i < 256; ++i) {
+    const Id id = q.push(make_event(i, i));
+    history.push_back(id);
+    ASSERT_TRUE(q.cancel(id));
+  }
+  // One slot, recycled 256 times: every historical id must now be dead.
+  EXPECT_EQ(q.pool_slots(), 1u);
+  for (const Id id : history) EXPECT_FALSE(q.pending(id));
+}
+
+TEST(SchedulerReschedule, MutatesTimerInPlaceOrSchedulesFresh) {
+  event::Scheduler sched;
+  event::Timer timer;
+  Event ev = make_event(10, 1);
+  // Invalid timer: reschedule degrades to a fresh schedule.
+  EXPECT_FALSE(sched.reschedule(timer, ev));
+  EXPECT_TRUE(timer.valid());
+  EXPECT_EQ(sched.scheduled(), 1u);
+  // Live timer: superseded in place — still exactly one pending event.
+  ev = make_event(4, 2);
+  EXPECT_TRUE(sched.reschedule(timer, ev));
+  EXPECT_TRUE(timer.valid());
+  EXPECT_EQ(sched.scheduled(), 2u);
+  EXPECT_FALSE(sched.empty());
+  EXPECT_TRUE(sched.cancel(timer));
+  EXPECT_TRUE(sched.empty());
+}
+
+}  // namespace
+}  // namespace cyclops
