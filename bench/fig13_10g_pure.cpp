@@ -10,7 +10,11 @@
 // runs on the event-driven session core AND on the retained fixed-step
 // oracle (on an identically seeded twin rig), the two outputs must be
 // bitwise equal, and the timings land in BENCH_fig13.json as
-// legacy_vs_event_speedup.
+// legacy_vs_event_speedup.  Timings are best-of-2 (the fig16 protocol:
+// the min discards one-off scheduler hiccups so the speedup ratio is
+// stable against single-shot noise); both twin rigs run every rep so
+// their consumed-randomness streams stay in lockstep.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,6 +24,8 @@
 using namespace cyclops;
 
 namespace {
+
+constexpr int kTimingReps = 2;
 
 /// Bitwise comparison (== on doubles; the claim is exact equality, not
 /// tolerance) — aborts the bench on the first mismatch.
@@ -55,20 +61,55 @@ int main() {
       bench::make_calibrated_rig(42, sim::prototype_10g_config());
   const double goodput = rig.proto.scene.config().sfp.goodput_gbps;
 
-  // --- purely linear motion (cm/s) ---
   std::vector<double> linear_speeds;
   for (double v = 0.05; v <= 0.90 + 1e-9; v += 0.05) linear_speeds.push_back(v);
-  bench::Timer timer;
-  const auto linear_rows = bench::stroke_speed_sweep(
-      rig, bench::StrokeKind::kLinear, linear_speeds,
-      link::SessionEngine::kEvent);
-  double event_ms = timer.elapsed_ms();
-  timer.reset();
-  const auto linear_oracle = bench::stroke_speed_sweep(
-      oracle_rig, bench::StrokeKind::kLinear, linear_speeds,
-      link::SessionEngine::kFixedStep);
-  double legacy_ms = timer.elapsed_ms();
-  require_identical(linear_rows, linear_oracle, "linear");
+  std::vector<double> angular_speeds;
+  for (double w = 4.0; w <= 40.0 + 1e-9; w += 4.0) {
+    angular_speeds.push_back(util::deg_to_rad(w));
+  }
+
+  // Best-of-2 over full (linear + angular) passes.  Each rep runs the
+  // event engine AND the fixed-step oracle on their respective rigs, so
+  // the twins see identical stroke sequences and stay comparable; the
+  // reported rows are rep 0's (every rep is checked bitwise-equal
+  // across engines regardless).
+  std::vector<bench::SpeedSweepRow> linear_rows, angular_rows;
+  double event_ms = 0.0, legacy_ms = 0.0;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    bench::Timer timer;
+    auto rep_linear = bench::stroke_speed_sweep(
+        rig, bench::StrokeKind::kLinear, linear_speeds,
+        link::SessionEngine::kEvent);
+    double rep_event_ms = timer.elapsed_ms();
+    timer.reset();
+    const auto linear_oracle = bench::stroke_speed_sweep(
+        oracle_rig, bench::StrokeKind::kLinear, linear_speeds,
+        link::SessionEngine::kFixedStep);
+    double rep_legacy_ms = timer.elapsed_ms();
+    require_identical(rep_linear, linear_oracle, "linear");
+
+    timer.reset();
+    auto rep_angular = bench::stroke_speed_sweep(
+        rig, bench::StrokeKind::kAngular, angular_speeds,
+        link::SessionEngine::kEvent);
+    rep_event_ms += timer.elapsed_ms();
+    timer.reset();
+    const auto angular_oracle = bench::stroke_speed_sweep(
+        oracle_rig, bench::StrokeKind::kAngular, angular_speeds,
+        link::SessionEngine::kFixedStep);
+    rep_legacy_ms += timer.elapsed_ms();
+    require_identical(rep_angular, angular_oracle, "angular");
+
+    if (rep == 0) {
+      linear_rows = std::move(rep_linear);
+      angular_rows = std::move(rep_angular);
+      event_ms = rep_event_ms;
+      legacy_ms = rep_legacy_ms;
+    } else {
+      event_ms = std::min(event_ms, rep_event_ms);
+      legacy_ms = std::min(legacy_ms, rep_legacy_ms);
+    }
+  }
 
   std::printf("linear_speed_cm_s, throughput_gbps, power_dbm\n");
   for (const auto& row : linear_rows) {
@@ -79,23 +120,6 @@ int main() {
   std::printf("max linear speed with optimal throughput: %.0f cm/s "
               "(paper: ~33-39 cm/s)\n\n",
               max_linear * 100.0);
-
-  // --- purely angular motion (deg/s) ---
-  std::vector<double> angular_speeds;
-  for (double w = 4.0; w <= 40.0 + 1e-9; w += 4.0) {
-    angular_speeds.push_back(util::deg_to_rad(w));
-  }
-  timer.reset();
-  const auto angular_rows = bench::stroke_speed_sweep(
-      rig, bench::StrokeKind::kAngular, angular_speeds,
-      link::SessionEngine::kEvent);
-  event_ms += timer.elapsed_ms();
-  timer.reset();
-  const auto angular_oracle = bench::stroke_speed_sweep(
-      oracle_rig, bench::StrokeKind::kAngular, angular_speeds,
-      link::SessionEngine::kFixedStep);
-  legacy_ms += timer.elapsed_ms();
-  require_identical(angular_rows, angular_oracle, "angular");
 
   std::printf("angular_speed_deg_s, throughput_gbps, power_dbm\n");
   for (const auto& row : angular_rows) {
@@ -108,13 +132,14 @@ int main() {
               util::rad_to_deg(max_angular));
 
   std::printf("engines bitwise equal; event %.0f ms vs fixed-step %.0f ms "
-              "(speedup %.2fx)\n",
-              event_ms, legacy_ms, legacy_ms / event_ms);
+              "(best of %d, speedup %.2fx)\n",
+              event_ms, legacy_ms, kTimingReps, legacy_ms / event_ms);
   bench::write_bench_json(
       "fig13", {{"max_linear_cm_s", max_linear * 100.0},
                 {"max_angular_deg_s", util::rad_to_deg(max_angular)},
                 {"event_ms", event_ms},
                 {"legacy_ms", legacy_ms},
-                {"legacy_vs_event_speedup", legacy_ms / event_ms}});
+                {"legacy_vs_event_speedup", legacy_ms / event_ms},
+                {"timing_reps", static_cast<double>(kTimingReps)}});
   return 0;
 }

@@ -4,6 +4,7 @@
 // Paper anchors (avg / max, mm):
 //   First Stage (TX)  1.24 / 5.30      First Stage (RX)  1.90 / 5.41
 //   Combined (TX)     2.18 / 4.07      Combined (RX)     4.54 / 6.50
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -18,24 +19,41 @@ using namespace cyclops;
 int main() {
   std::printf("== Table 2: GMA model estimation errors (10G prototype) ==\n\n");
 
-  // Calibrate twice — once forced serial, once over the pool (the LM
-  // Jacobians inside Stage 1/2 are column-parallel) — to record the
-  // speedup and check the fits agree exactly.
+  // Calibrate under both execution modes — forced serial, and over the
+  // pool (the LM Jacobians inside Stage 1/2 are column-parallel) — to
+  // record the speedup and check the fits agree exactly.  Timings are
+  // best-of-2 (the fig16 protocol: the min discards one-off scheduler
+  // hiccups so the speedup ratio is stable against single-shot noise);
+  // calibration is a pure function of the seed, so reruns are free.
+  constexpr int kTimingReps = 2;
   bench::Timer timer;
   double serial_stage1_avg = 0.0;
   double serial_ms = 0.0;
-  {
+  for (int rep = 0; rep < kTimingReps; ++rep) {
     util::ThreadPool::SerialScope force_serial;
+    timer.reset();
     const bench::CalibratedRig serial_rig =
         bench::make_calibrated_rig(42, sim::prototype_10g_config());
-    serial_ms = timer.elapsed_ms();
+    serial_ms = rep == 0 ? timer.elapsed_ms()
+                         : std::min(serial_ms, timer.elapsed_ms());
     serial_stage1_avg = serial_rig.calib.tx_stage1.avg_error_m;
   }
 
   timer.reset();
   bench::CalibratedRig rig =
       bench::make_calibrated_rig(42, sim::prototype_10g_config());
-  const double parallel_ms = timer.elapsed_ms();
+  double parallel_ms = timer.elapsed_ms();
+  for (int rep = 1; rep < kTimingReps; ++rep) {
+    timer.reset();
+    const bench::CalibratedRig rerun =
+        bench::make_calibrated_rig(42, sim::prototype_10g_config());
+    parallel_ms = std::min(parallel_ms, timer.elapsed_ms());
+    if (rerun.calib.tx_stage1.avg_error_m !=
+        rig.calib.tx_stage1.avg_error_m) {
+      std::fprintf(stderr, "FATAL: calibration rerun not deterministic\n");
+      return 1;
+    }
+  }
   if (rig.calib.tx_stage1.avg_error_m != serial_stage1_avg) {
     std::fprintf(stderr, "FATAL: parallel calibration differs from serial\n");
     return 1;
@@ -47,7 +65,8 @@ int main() {
        {"speedup", serial_ms / parallel_ms},
        {"serial_threads", 1.0},
        {"parallel_threads",
-        static_cast<double>(util::ThreadPool::global().thread_count())}});
+        static_cast<double>(util::ThreadPool::global().thread_count())},
+       {"timing_reps", static_cast<double>(kTimingReps)}});
 
   util::Rng rng(17);
   const core::CombinedErrors combined = core::evaluate_combined_errors(

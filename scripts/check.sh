@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# The full local gate, four stages back to back:
+# The full local gate, five stages back to back:
 #   1. release      — configure, build, and run the whole suite
 #                     (fast + ctx + slow labels).
 #   2. perf smoke   — fig16 on a 50-trace subset; fails if the event
 #                     engine's speedup over the legacy fixed-step loop
 #                     drops below the committed floor (ISSUE-6 exit
 #                     criterion: the DES engine must beat the loop).
-#   3. tsan-fast    — ThreadSanitizer over the quick gate plus the
-#                     context/concurrency isolation tests and the phy
-#                     layer (fast|ctx|phy) — so the event-engine-vs-
-#                     fixed-step equivalence oracle runs under both
-#                     release AND tsan.
-#   4. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
+#   3. stream smoke — bench/stream_pipeline on a 50-trace subset; the
+#                     binary hard-gates zero torn frames / zero arena
+#                     copies / >= 1 Gbps through flaps, and this stage
+#                     additionally holds the adaptive policy's freeze
+#                     rate under a fixed ceiling.
+#   4. tsan-fast    — ThreadSanitizer over the quick gate plus the
+#                     context/concurrency isolation tests, the phy
+#                     layer, and the streaming plane (fast|ctx|phy|
+#                     stream) — so the engine-equivalence and ABR
+#                     bit-exactness oracles run under both release AND
+#                     tsan.
+#   5. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
 #                     proving the telemetry compile-out keeps everything
 #                     green.
-# Any failure stops the script (set -e); a clean exit means all four
+# Any failure stops the script (set -e); a clean exit means all five
 # gates passed.  Run from the repository root:  ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,12 +32,12 @@ cd "$(dirname "$0")/.."
 # best-of-2 precisely so this single-shot gate is stable.
 PERF_SPEEDUP_FLOOR="1.0"
 
-echo "== [1/4] release: configure + build + full test suite =="
+echo "== [1/5] release: configure + build + full test suite =="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== [2/4] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
+echo "== [2/5] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 (cd "${smoke_dir}" && "${OLDPWD}/build/bench/fig16_trace_cdf" 50 > fig16_smoke.log)
@@ -44,12 +50,33 @@ awk -v s="${speedup}" -v floor="${PERF_SPEEDUP_FLOOR}" \
   exit 1
 }
 
-echo "== [3/4] tsan-fast: ThreadSanitizer, fast + ctx + phy labels =="
+echo "== [3/5] stream smoke: 50-trace subset, torn frames + freeze-rate gates =="
+# The adaptive controller's freeze rate on the trace library must stay
+# under this ceiling (freezes per minute; the full run sits around 6 —
+# see BENCH_stream.json).  The binary itself additionally hard-fails on
+# torn frames, arena copies, or < 1 Gbps goodput through flaps.
+STREAM_FREEZE_CEILING="10.0"
+(cd "${smoke_dir}" && "${OLDPWD}/build/bench/stream_pipeline" 50 > stream_smoke.log)
+torn="$(sed -n 's/.*"torn_frames": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_stream_smoke.json")"
+freeze="$(sed -n 's/.*"abr_adaptive_freeze_per_min": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_stream_smoke.json")"
+echo "stream smoke: torn_frames=${torn}, adaptive freezes/min=${freeze} (ceiling ${STREAM_FREEZE_CEILING})"
+awk -v t="${torn}" 'BEGIN { exit !(t + 0 == 0) }' || {
+  echo "FAIL: stream smoke reported torn frames" >&2
+  exit 1
+}
+awk -v f="${freeze}" -v c="${STREAM_FREEZE_CEILING}"   'BEGIN { exit !(f + 0 <= c + 0) }' || {
+  echo "FAIL: adaptive freeze rate ${freeze}/min above ceiling ${STREAM_FREEZE_CEILING}" >&2
+  exit 1
+}
+
+echo "== [4/5] tsan-fast: ThreadSanitizer, fast + ctx + phy + stream labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan-fast
 
-echo "== [4/4] obs-off-fast: telemetry compiled out, fast + ctx + phy labels =="
+echo "== [5/5] obs-off-fast: telemetry compiled out, fast + ctx + phy + stream labels =="
 cmake --preset obs-off
 cmake --build --preset obs-off -j "$(nproc)"
 ctest --preset obs-off-fast

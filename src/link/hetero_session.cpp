@@ -89,6 +89,8 @@ class HeteroSlotProcess final : public event::Process {
         margin[0], margin[1] - config_.fallback_penalty_db};
     const int serving = handover_.on_powers(decision);
     ++slots_;
+    bool serving_up = false;
+    double slot_rate = 0.0;
     if (serving >= 0) {
       const auto s = static_cast<std::size_t>(serving);
       if (serving != last_serving_) {
@@ -101,10 +103,13 @@ class HeteroSlotProcess final : public event::Process {
       }
       ++serving_slots_[s];
       if (up[s]) {
+        serving_up = true;
+        slot_rate = channels[s]->rate_for(metric[s]);
         ++served_;
-        rate_sum_ += channels[s]->rate_for(metric[s]);
+        rate_sum_ += slot_rate;
       }
     }
+    if (config_.on_slot) config_.on_slot(now, serving, serving_up, slot_rate);
 
     const util::SimTimeUs next = now + config_.step;
     if (next < duration_) {

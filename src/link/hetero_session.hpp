@@ -44,6 +44,12 @@ struct HeteroConfig {
   /// Optional FSO LOS obstruction (occluder mid-beam while true); the
   /// fallback channel models its own blockage (MmWaveChannelConfig).
   std::function<bool(util::SimTimeUs)> fso_occlusion;
+  /// Optional per-slot tap: (slot time, serving channel index or -1
+  /// mid-switch, serving link up, delivered rate in Gbps — 0 while down).
+  /// This is how a streaming data plane rides the session: capture the
+  /// rate timeline here and feed it to stream::StreamPipeline as its
+  /// CapacityFn (examples/spectator_demo.cpp).
+  std::function<void(util::SimTimeUs, int, bool, double)> on_slot;
 };
 
 struct HeteroChannelStats {

@@ -1,66 +1,4 @@
+// AdaptiveStreamController is now a header-only adapter over
+// stream::EncoderRateAdapter; this TU just anchors the target's source
+// list.
 #include "net/adaptive_stream.hpp"
-
-#include <algorithm>
-#include <cmath>
-
-#include "obs/config.hpp"
-
-namespace cyclops::net {
-
-void AdaptiveStreamController::set_obs(obs::Registry* registry) {
-  if constexpr (!obs::kEnabled) registry = nullptr;
-  if (registry == nullptr) {
-    m_switch_to_raw_ = m_switch_to_compressed_ = nullptr;
-    m_dwell_raw_us_ = m_dwell_compressed_us_ = nullptr;
-    return;
-  }
-  m_switch_to_raw_ =
-      &registry->counter("adaptive_switches_total", {{"to", "raw"}});
-  m_switch_to_compressed_ =
-      &registry->counter("adaptive_switches_total", {{"to", "compressed"}});
-  m_dwell_raw_us_ = &registry->histogram(
-      "adaptive_mode_dwell_us", obs::HistogramSpec::duration_us(),
-      {{"mode", "raw"}});
-  m_dwell_compressed_us_ = &registry->histogram(
-      "adaptive_mode_dwell_us", obs::HistogramSpec::duration_us(),
-      {{"mode", "compressed"}});
-}
-
-StreamMode AdaptiveStreamController::step(util::SimTimeUs now,
-                                          double capacity_gbps) {
-  const double dt =
-      last_step_ == 0 ? 1e-3 : util::us_to_s(now - last_step_);
-  last_step_ = now;
-
-  // How satisfied is the *raw* demand right now?  (Judge against raw so
-  // the controller can tell when an upgrade would succeed.)
-  const double satisfied =
-      std::clamp(capacity_gbps / config_.raw_rate_gbps, 0.0, 1.0);
-  const double alpha =
-      1.0 - std::exp(-dt / util::us_to_s(config_.window));
-  satisfied_ema_ += alpha * (satisfied - satisfied_ema_);
-
-  const bool dwell_ok = now - last_switch_ >= config_.min_dwell;
-  if (mode_ == StreamMode::kRaw &&
-      satisfied_ema_ < config_.downgrade_threshold && dwell_ok) {
-    if (m_dwell_raw_us_ != nullptr) {
-      m_dwell_raw_us_->record(static_cast<double>(now - last_switch_));
-      m_switch_to_compressed_->inc();
-    }
-    mode_ = StreamMode::kCompressed;
-    ++switches_;
-    last_switch_ = now;
-  } else if (mode_ == StreamMode::kCompressed &&
-             satisfied_ema_ > config_.upgrade_threshold && dwell_ok) {
-    if (m_dwell_compressed_us_ != nullptr) {
-      m_dwell_compressed_us_->record(static_cast<double>(now - last_switch_));
-      m_switch_to_raw_->inc();
-    }
-    mode_ = StreamMode::kRaw;
-    ++switches_;
-    last_switch_ = now;
-  }
-  return mode_;
-}
-
-}  // namespace cyclops::net

@@ -8,88 +8,67 @@
 // history and switches modes with hysteresis, so a Cyclops link that
 // briefly drops (occlusion, fast motion) degrades to "compressed" instead
 // of freezing — and upgrades back when the optical link returns.
+//
+// Since the streaming data plane landed (src/stream/, DESIGN.md §14)
+// this class is a thin adapter over stream::EncoderRateAdapter, which
+// carries the identical switching arithmetic (tests/stream_abr_test.cpp
+// proves bit-exactness over the 500-trace library) plus the pipeline's
+// backpressure extension, disabled here.
 #pragma once
 
-#include "net/frame_source.hpp"
 #include "obs/registry.hpp"
 #include "runtime/context.hpp"
+#include "stream/rate_adapter.hpp"
 
 namespace cyclops::net {
 
-enum class StreamMode {
-  kRaw,         ///< Uncompressed frames over the FSO link.
-  kCompressed,  ///< Codec fallback (e.g. HEVC at ~0.4 Gbps).
-};
+/// kRaw = uncompressed frames over the FSO link; kCompressed = codec
+/// fallback (e.g. HEVC at ~0.4 Gbps).  The one definition lives with the
+/// rate adapter.
+using StreamMode = stream::EncoderMode;
 
-struct AdaptiveConfig {
-  double raw_rate_gbps = 20.0;
-  double compressed_rate_gbps = 0.4;
-  /// Extra motion-to-photon latency the decoder adds in compressed mode.
-  double decode_latency_ms = 8.0;
-  /// Downgrade when the delivered fraction over the window drops below
-  /// this; upgrade back above the high-water mark (hysteresis).
-  double downgrade_threshold = 0.90;
-  double upgrade_threshold = 0.995;
-  /// Sliding window over which delivery is judged.
-  util::SimTimeUs window = 500000;  // 0.5 s
-  /// Minimum dwell time in a mode (prevents flapping).
-  util::SimTimeUs min_dwell = 1000000;  // 1 s
-};
+/// Same fields and defaults as ever (the added backpressure_weight stays
+/// at its disabled default of 0 here).
+using AdaptiveConfig = stream::RatePolicy;
 
 class AdaptiveStreamController {
  public:
-  explicit AdaptiveStreamController(AdaptiveConfig config)
-      : config_(config) {}
+  explicit AdaptiveStreamController(AdaptiveConfig config) : core_(config) {}
 
   /// Context constructor: mode metrics land in ctx.registry() (handles
   /// hoisted once, here) — the one-argument form of construct + set_obs.
   AdaptiveStreamController(AdaptiveConfig config, const runtime::Context& ctx)
-      : AdaptiveStreamController(config) {
-    set_obs(&ctx.registry());
-  }
+      : core_(config, ctx) {}
 
   /// Attaches mode metrics: adaptive_switches_total counters (labelled by
   /// destination mode) and adaptive_mode_dwell_us histograms (time spent
   /// in the mode being left, labelled by that mode).  Pass nullptr to
   /// detach.  No-op in CYCLOPS_OBS=OFF builds.
-  void set_obs(obs::Registry* registry);
+  void set_obs(obs::Registry* registry) { core_.set_obs(registry); }
 
   /// Feeds one slot: the link's current deliverable capacity.  Returns
   /// the mode to use for frames rendered now.
-  StreamMode step(util::SimTimeUs now, double capacity_gbps);
+  StreamMode step(util::SimTimeUs now, double capacity_gbps) {
+    return core_.step(now, capacity_gbps);
+  }
 
-  StreamMode mode() const noexcept { return mode_; }
-  int mode_switches() const noexcept { return switches_; }
+  StreamMode mode() const noexcept { return core_.mode(); }
+  int mode_switches() const noexcept { return core_.mode_switches(); }
 
   /// Rate demanded from the link in the current mode.
   double current_rate_gbps() const noexcept {
-    return mode_ == StreamMode::kRaw ? config_.raw_rate_gbps
-                                     : config_.compressed_rate_gbps;
+    return core_.current_rate_gbps();
   }
 
   /// End-to-end latency penalty of the current mode.
   double current_decode_latency_ms() const noexcept {
-    return mode_ == StreamMode::kRaw ? 0.0 : config_.decode_latency_ms;
+    return core_.current_decode_latency_ms();
   }
 
-  const AdaptiveConfig& config() const noexcept { return config_; }
+  const AdaptiveConfig& config() const noexcept { return core_.policy(); }
 
  private:
-  AdaptiveConfig config_;
-  StreamMode mode_ = StreamMode::kRaw;
-  int switches_ = 0;
-  util::SimTimeUs last_switch_ = 0;
-  // Sliding accounting: how much of the demanded rate the link could
-  // carry over the recent window (exponential moving average matched to
-  // the window length).
-  double satisfied_ema_ = 1.0;
-  util::SimTimeUs last_step_ = 0;
-
-  // Hoisted metric handles (null when detached / OBS=OFF).
-  obs::Counter* m_switch_to_raw_ = nullptr;
-  obs::Counter* m_switch_to_compressed_ = nullptr;
-  obs::Histogram* m_dwell_raw_us_ = nullptr;
-  obs::Histogram* m_dwell_compressed_us_ = nullptr;
+  stream::EncoderRateAdapter core_;
 };
 
 }  // namespace cyclops::net

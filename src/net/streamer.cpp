@@ -1,80 +1,3 @@
+// FrameStreamer is now a header-only adapter over stream::WireQueue +
+// stream::FreezeLedger; this TU just anchors the target's source list.
 #include "net/streamer.hpp"
-
-#include <algorithm>
-
-#include "obs/config.hpp"
-
-namespace cyclops::net {
-
-void FrameStreamer::set_obs(obs::Registry* registry) {
-  if constexpr (!obs::kEnabled) registry = nullptr;
-  if (registry == nullptr) {
-    m_offered_ = m_delivered_ = m_dropped_ = m_freezes_ = nullptr;
-    m_latency_us_ = nullptr;
-    return;
-  }
-  m_offered_ = &registry->counter("stream_frames_offered_total");
-  m_delivered_ = &registry->counter("stream_frames_delivered_total");
-  m_dropped_ = &registry->counter("stream_frames_dropped_total");
-  m_freezes_ = &registry->counter("stream_freezes_total");
-  m_latency_us_ = &registry->histogram("stream_delivery_latency_us",
-                                       obs::HistogramSpec::duration_us());
-}
-
-void FrameStreamer::offer(const Frame& frame) {
-  ++stats_.frames_offered;
-  if (m_offered_ != nullptr) m_offered_->inc();
-  queue_.push_back({frame, frame.bits * config_.overhead});
-}
-
-void FrameStreamer::record_drop() {
-  ++stats_.frames_dropped;
-  ++current_drop_run_;
-  if (current_drop_run_ == 2) {
-    ++stats_.freeze_events;
-    if (m_freezes_ != nullptr) m_freezes_->inc();
-  }
-  stats_.longest_freeze_frames =
-      std::max(stats_.longest_freeze_frames, current_drop_run_);
-  if (m_dropped_ != nullptr) m_dropped_->inc();
-}
-
-void FrameStreamer::record_delivery(util::SimTimeUs now, const Frame& frame) {
-  ++stats_.frames_delivered;
-  stats_.last_delivered_id = frame.id;
-  current_drop_run_ = 0;
-  const double latency_ms = util::us_to_ms(now - frame.render_time);
-  latency_sum_ms_ += latency_ms;
-  stats_.avg_delivery_latency_ms =
-      latency_sum_ms_ / static_cast<double>(stats_.frames_delivered);
-  stats_.max_delivery_latency_ms =
-      std::max(stats_.max_delivery_latency_ms, latency_ms);
-  if (m_delivered_ != nullptr) {
-    m_delivered_->inc();
-    m_latency_us_->record(static_cast<double>(now - frame.render_time));
-  }
-}
-
-void FrameStreamer::step(util::SimTimeUs now, util::SimTimeUs slot_duration,
-                         double capacity_gbps) {
-  // Expire frames that can no longer make their deadline.
-  while (!queue_.empty() &&
-         now > queue_.front().frame.render_time + config_.deadline) {
-    record_drop();
-    queue_.pop_front();
-  }
-
-  double budget_bits = capacity_gbps * 1e9 * util::us_to_s(slot_duration);
-  while (budget_bits > 0.0 && !queue_.empty()) {
-    InFlight& head = queue_.front();
-    const double sent = std::min(budget_bits, head.bits_remaining);
-    head.bits_remaining -= sent;
-    budget_bits -= sent;
-    if (head.bits_remaining <= 0.0) {
-      record_delivery(now + slot_duration, head.frame);
-      queue_.pop_front();
-    }
-  }
-}
-
-}  // namespace cyclops::net

@@ -6,47 +6,41 @@
 // Policy: frames queue FIFO; a frame still undelivered past its deadline
 // (a small multiple of the frame period — stale frames are useless in VR)
 // is dropped, and the display re-shows the previous frame (a "freeze").
+//
+// DEADLINE BOUNDARY (pinned by net_test.DeadlineBoundaryIsExact): the
+// expiry predicate is `now > render_time + deadline`.  A frame whose
+// delivery completes at exactly render_time + deadline is on-time; a
+// step one microsecond past the deadline drops it.  With the default
+// 22000 µs deadline, a frame rendered at t is droppable from t + 22001.
+//
+// Since the streaming data plane landed (src/stream/, DESIGN.md §14)
+// this class is a thin adapter: the queueing/deadline mechanism is
+// stream::WireQueue and the QoE arithmetic is stream::FreezeLedger,
+// both shared with the jitter-buffered pipeline.  Public API, metric
+// names, and per-frame outcomes are unchanged from the pre-stream
+// implementation (tests/net_test.cpp pins them).
 #pragma once
-
-#include <deque>
-#include <vector>
 
 #include "net/frame_source.hpp"
 #include "obs/registry.hpp"
 #include "runtime/context.hpp"
+#include "stream/freeze_ledger.hpp"
+#include "stream/wire_queue.hpp"
 
 namespace cyclops::net {
 
-struct StreamerConfig {
-  /// Delivery deadline relative to render time.
-  util::SimTimeUs deadline = 22000;  ///< ~2 frame periods at 90 fps.
-  /// Transmission overhead factor (protocol framing, FEC).
-  double overhead = 1.05;
-};
+/// Same fields and defaults as ever; now the one definition lives with
+/// the wire queue.
+using StreamerConfig = stream::WireQueueConfig;
 
-struct StreamStats {
-  std::int64_t frames_offered = 0;
-  std::int64_t frames_delivered = 0;
-  std::int64_t frames_dropped = 0;
-  double avg_delivery_latency_ms = 0.0;  ///< Render -> fully received.
-  double max_delivery_latency_ms = 0.0;
-  /// Display freezes: runs of >= 2 consecutive dropped frames.
-  int freeze_events = 0;
-  int longest_freeze_frames = 0;
-  /// Id of the most recently delivered frame (-1 before the first); while
-  /// frames drop, the display keeps re-showing this one.
-  std::int64_t last_delivered_id = -1;
-
-  double delivery_rate() const {
-    return frames_offered > 0
-               ? static_cast<double>(frames_delivered) / frames_offered
-               : 0.0;
-  }
-};
+/// QoE stats (offered/delivered/dropped, latency, freezes); the one
+/// definition lives with the freeze ledger.
+using StreamStats = stream::LedgerStats;
 
 class FrameStreamer {
  public:
-  explicit FrameStreamer(StreamerConfig config) : config_(config) {}
+  explicit FrameStreamer(StreamerConfig config)
+      : wire_(config, ledger_) {}
 
   /// Context constructor: stream metrics land in ctx.registry() (handles
   /// hoisted once, here) — the one-argument form of construct + set_obs.
@@ -55,44 +49,34 @@ class FrameStreamer {
     set_obs(&ctx.registry());
   }
 
+  FrameStreamer(const FrameStreamer&) = delete;
+  FrameStreamer& operator=(const FrameStreamer&) = delete;
+
   /// Attaches stream metrics: stream_frames_{offered,delivered,dropped}
   /// _total and stream_freezes_total counters plus the
   /// stream_delivery_latency_us histogram.  Handles are hoisted here; pass
   /// nullptr to detach.  No-op in CYCLOPS_OBS=OFF builds.
-  void set_obs(obs::Registry* registry);
+  void set_obs(obs::Registry* registry) { ledger_.set_obs(registry); }
 
   /// Enqueues a rendered frame.
-  void offer(const Frame& frame);
+  void offer(const Frame& frame) {
+    wire_.offer(frame.id, frame.render_time, frame.bits);
+  }
 
   /// Advances one slot of `slot_duration`; `capacity_gbps` is the link's
-  /// deliverable rate during the slot (0 when the link is down).
+  /// deliverable rate during the slot (0 when the link is down).  See
+  /// DEADLINE BOUNDARY above for the expiry semantics.
   void step(util::SimTimeUs now, util::SimTimeUs slot_duration,
-            double capacity_gbps);
+            double capacity_gbps) {
+    wire_.step(now, slot_duration, capacity_gbps);
+  }
 
-  const StreamStats& stats() const noexcept { return stats_; }
-  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  const StreamStats& stats() const noexcept { return ledger_.stats(); }
+  std::size_t queue_depth() const noexcept { return wire_.depth(); }
 
  private:
-  struct InFlight {
-    Frame frame;
-    double bits_remaining = 0.0;
-  };
-
-  void record_drop();
-  void record_delivery(util::SimTimeUs now, const Frame& frame);
-
-  StreamerConfig config_;
-  std::deque<InFlight> queue_;
-  StreamStats stats_;
-  double latency_sum_ms_ = 0.0;
-  int current_drop_run_ = 0;
-
-  // Hoisted metric handles (null when detached / OBS=OFF).
-  obs::Counter* m_offered_ = nullptr;
-  obs::Counter* m_delivered_ = nullptr;
-  obs::Counter* m_dropped_ = nullptr;
-  obs::Counter* m_freezes_ = nullptr;
-  obs::Histogram* m_latency_us_ = nullptr;
+  stream::FreezeLedger ledger_;
+  stream::WireQueue wire_;  ///< Holds a pointer to ledger_: declared after.
 };
 
 }  // namespace cyclops::net

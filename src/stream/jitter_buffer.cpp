@@ -1,0 +1,64 @@
+#include "stream/jitter_buffer.hpp"
+
+namespace cyclops::stream {
+
+JitterBuffer::~JitterBuffer() {
+  for (auto& [id, frame] : buffer_) arena_->release(frame.payload);
+}
+
+void JitterBuffer::push(const FrameDesc& frame) {
+  ++stats_.frames_pushed;
+  if (frame.id < next_display_id_ || buffer_.contains(frame.id)) {
+    ++stats_.stale_arrivals;
+    return;
+  }
+  if (!arena_->add_ref(frame.payload)) {
+    ++stats_.stale_arrivals;
+    return;
+  }
+  buffer_.emplace(frame.id, frame);
+}
+
+void JitterBuffer::account_gap(std::int64_t up_to) {
+  while (next_display_id_ < up_to) {
+    ledger_->on_dropped();
+    ++next_display_id_;
+  }
+}
+
+void JitterBuffer::on_vsync(util::SimTimeUs now) {
+  // Expire frames past their playout deadline.  `>` (not `>=`): a frame
+  // is still displayable at exactly render_time + playout_deadline.
+  // Its id is accounted as a ledger drop when the playhead passes it
+  // (account_gap / finalize), keeping drops in frame-id order.
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (now > it->second.render_time + config_.playout_deadline) {
+      arena_->release(it->second.payload);
+      ++stats_.late_drops;
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (buffer_.empty()) {
+    ++stats_.re_shows;  // display keeps showing the previous frame
+    return;
+  }
+  auto it = buffer_.begin();
+  const FrameDesc frame = it->second;
+  buffer_.erase(it);
+  account_gap(frame.id);
+  ledger_->on_delivered(now, frame.id, frame.render_time);
+  ++stats_.frames_displayed;
+  stats_.displayed_bits += frame.bits;
+  next_display_id_ = frame.id + 1;
+  arena_->release(frame.payload);
+}
+
+void JitterBuffer::finalize(std::int64_t last_offered_id) {
+  for (auto& [id, frame] : buffer_) arena_->release(frame.payload);
+  buffer_.clear();
+  account_gap(last_offered_id + 1);
+}
+
+}  // namespace cyclops::stream

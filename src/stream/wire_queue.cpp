@@ -1,0 +1,38 @@
+#include "stream/wire_queue.hpp"
+
+#include <algorithm>
+
+namespace cyclops::stream {
+
+void WireQueue::offer(std::int64_t frame_id, util::SimTimeUs render_time,
+                      double bits) {
+  ledger_->on_offered();
+  queue_.push_back({frame_id, render_time, bits * config_.overhead});
+}
+
+void WireQueue::step(util::SimTimeUs now, util::SimTimeUs slot_duration,
+                     double capacity_gbps) {
+  // Expire frames that can no longer make their deadline.  `>` (not
+  // `>=`): a frame completing at exactly render_time + deadline is
+  // on-time; the first microsecond past it is a drop.
+  while (!queue_.empty() &&
+         now > queue_.front().render_time + config_.deadline) {
+    ledger_->on_dropped();
+    queue_.pop_front();
+  }
+
+  double budget_bits = capacity_gbps * 1e9 * util::us_to_s(slot_duration);
+  while (budget_bits > 0.0 && !queue_.empty()) {
+    InFlight& head = queue_.front();
+    const double sent = std::min(budget_bits, head.bits_remaining);
+    head.bits_remaining -= sent;
+    budget_bits -= sent;
+    if (head.bits_remaining <= 0.0) {
+      ledger_->on_delivered(now + slot_duration, head.frame_id,
+                            head.render_time);
+      queue_.pop_front();
+    }
+  }
+}
+
+}  // namespace cyclops::stream

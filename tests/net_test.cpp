@@ -155,6 +155,27 @@ TEST(StreamerTest, DeadlineEnforced) {
   EXPECT_EQ(stats.frames_delivered, 0);
 }
 
+TEST(StreamerTest, DeadlineBoundaryIsExact) {
+  // Pins the exact expiry predicate `now > render_time + deadline`
+  // (documented in net/streamer.hpp): a step landing AT the deadline
+  // still delivers; one microsecond past it drops.  With the default
+  // 22000 µs deadline, a frame rendered at 0 is droppable from 22001.
+  {
+    FrameStreamer streamer({});
+    streamer.offer(Frame{0, 0, 1e6});
+    streamer.step(22000, kSlot, 1.05);  // == render + deadline: serves
+    EXPECT_EQ(streamer.stats().frames_delivered, 1);
+    EXPECT_EQ(streamer.stats().frames_dropped, 0);
+  }
+  {
+    FrameStreamer streamer({});
+    streamer.offer(Frame{0, 0, 1e6});
+    streamer.step(22001, kSlot, 1.05);  // one microsecond past: expired
+    EXPECT_EQ(streamer.stats().frames_delivered, 0);
+    EXPECT_EQ(streamer.stats().frames_dropped, 1);
+  }
+}
+
 TEST(StreamerTest, DeadlineDropReShowsLastDeliveredFrame) {
   // The display keeps re-showing the last delivered frame while later
   // frames miss their deadline: last_delivered_id must not advance on
