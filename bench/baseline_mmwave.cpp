@@ -10,6 +10,7 @@
 // doubt (ideal rate adaptation, no interference); its ceiling is still an
 // order of magnitude short of the raw-video requirement, while Cyclops
 // delivers ~23 Gbps.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -38,27 +39,48 @@ int main() {
       phy::make_sfp_info(optics::sfp28_lr()).peak_rate_gbps;
 
   obs::Registry registry;  // isolated: one bench, one metrics scope
+  // Best-of-2 wall time over the full 100-trace pass (the fig13/fig16
+  // protocol); the reported stats are rep 0's — each rep starts fresh
+  // RunningStats and retrain counts, so reps never accumulate into the
+  // result fields.
+  constexpr int kTimingReps = 2;
   util::RunningStats mmwave_gbps, cyclops_gbps;
   int total_retrains = 0;
-  for (const auto& trace : traces) {
-    // --- mmWave: the unified session core over the trace, one channel
-    // (fresh beam-training state) per trace, 10 ms slots to match the
-    // trace sampling. ---
-    phy::MmWaveChannelConfig config;
-    config.ap_position = ap_position;
-    phy::MmWaveChannel channel(config, &registry);
-    const motion::TraceMotion profile(trace);
-    link::ChannelSessionOptions options;
-    options.step = 10000;
-    const link::RunResult run =
-        link::run_channel_session(channel, profile, options, &registry);
-    channel.finish(util::us_from_s(profile.duration_s()));
-    mmwave_gbps.add(run.avg_rate_gbps);
-    total_retrains += channel.retrains();
+  double pass_ms = 0.0;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    util::RunningStats rep_mmwave, rep_cyclops;
+    int rep_retrains = 0;
+    bench::Timer timer;
+    for (const auto& trace : traces) {
+      // --- mmWave: the unified session core over the trace, one channel
+      // (fresh beam-training state) per trace, 10 ms slots to match the
+      // trace sampling. ---
+      phy::MmWaveChannelConfig config;
+      config.ap_position = ap_position;
+      phy::MmWaveChannel channel(config, &registry);
+      const motion::TraceMotion profile(trace);
+      link::ChannelSessionOptions options;
+      options.step = 10000;
+      const link::RunResult run =
+          link::run_channel_session(channel, profile, options, &registry);
+      channel.finish(util::us_from_s(profile.duration_s()));
+      rep_mmwave.add(run.avg_rate_gbps);
+      rep_retrains += channel.retrains();
 
-    // --- Cyclops: §5.4 slot connectivity x the SFP28 goodput. ---
-    const link::SlotEvalResult r = link::evaluate_trace(trace, cyclops_config);
-    cyclops_gbps.add((1.0 - r.off_fraction()) * cyclops_goodput);
+      // --- Cyclops: §5.4 slot connectivity x the SFP28 goodput. ---
+      const link::SlotEvalResult r =
+          link::evaluate_trace(trace, cyclops_config);
+      rep_cyclops.add((1.0 - r.off_fraction()) * cyclops_goodput);
+    }
+    const double rep_ms = timer.elapsed_ms();
+    if (rep == 0) {
+      mmwave_gbps = rep_mmwave;
+      cyclops_gbps = rep_cyclops;
+      total_retrains = rep_retrains;
+      pass_ms = rep_ms;
+    } else {
+      pass_ms = std::min(pass_ms, rep_ms);
+    }
   }
 
   std::printf("per-trace average goodput over %zu traces:\n", traces.size());
@@ -82,6 +104,8 @@ int main() {
        {"cyclops_mean_gbps", cyclops_gbps.mean()},
        {"advantage_x", cyclops_gbps.mean() / mmwave_gbps.mean()},
        {"retrains_per_trace",
-        static_cast<double>(total_retrains) / traces.size()}});
+        static_cast<double>(total_retrains) / traces.size()},
+       {"pass_ms", pass_ms},
+       {"timing_reps", static_cast<double>(kTimingReps)}});
   return 0;
 }

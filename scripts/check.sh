@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# The full local gate, five stages back to back:
+# The full local gate, six stages back to back:
 #   1. release      — configure, build, and run the whole suite
 #                     (fast + ctx + slow labels).
 #   2. perf smoke   — fig16 on a 50-trace subset; fails if the event
@@ -11,16 +11,22 @@
 #                     copies / >= 1 Gbps through flaps, and this stage
 #                     additionally holds the adaptive policy's freeze
 #                     rate under a fixed ceiling.
-#   4. tsan-fast    — ThreadSanitizer over the quick gate plus the
+#   4. arena smoke  — bench/arena_capacity on a 6-second subset; the
+#                     binary hard-gates zero duty violations, >= 1
+#                     TX-failure migration, and the uniform 4-TX SLA
+#                     floor, and this stage re-checks the same three
+#                     out of the smoke JSON.
+#   5. tsan-fast    — ThreadSanitizer over the quick gate plus the
 #                     context/concurrency isolation tests, the phy
-#                     layer, and the streaming plane (fast|ctx|phy|
-#                     stream) — so the engine-equivalence and ABR
-#                     bit-exactness oracles run under both release AND
-#                     tsan.
-#   5. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
+#                     layer, the streaming plane, and the multi-TX
+#                     arena (fast|ctx|phy|stream|arena) — so the
+#                     engine-equivalence and ABR bit-exactness oracles
+#                     and the arena determinism tests run under both
+#                     release AND tsan.
+#   6. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
 #                     proving the telemetry compile-out keeps everything
 #                     green.
-# Any failure stops the script (set -e); a clean exit means all five
+# Any failure stops the script (set -e); a clean exit means all six
 # gates passed.  Run from the repository root:  ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,12 +38,12 @@ cd "$(dirname "$0")/.."
 # best-of-2 precisely so this single-shot gate is stable.
 PERF_SPEEDUP_FLOOR="1.0"
 
-echo "== [1/5] release: configure + build + full test suite =="
+echo "== [1/6] release: configure + build + full test suite =="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== [2/5] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
+echo "== [2/6] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 (cd "${smoke_dir}" && "${OLDPWD}/build/bench/fig16_trace_cdf" 50 > fig16_smoke.log)
@@ -50,7 +56,7 @@ awk -v s="${speedup}" -v floor="${PERF_SPEEDUP_FLOOR}" \
   exit 1
 }
 
-echo "== [3/5] stream smoke: 50-trace subset, torn frames + freeze-rate gates =="
+echo "== [3/6] stream smoke: 50-trace subset, torn frames + freeze-rate gates =="
 # The adaptive controller's freeze rate on the trace library must stay
 # under this ceiling (freezes per minute; the full run sits around 6 —
 # see BENCH_stream.json).  The binary itself additionally hard-fails on
@@ -71,12 +77,37 @@ awk -v f="${freeze}" -v c="${STREAM_FREEZE_CEILING}"   'BEGIN { exit !(f + 0 <= 
   exit 1
 }
 
-echo "== [4/5] tsan-fast: ThreadSanitizer, fast + ctx + phy + stream labels =="
+echo "== [4/6] arena smoke: 6-second subset, duty + migration + SLA gates =="
+# Capacity floor for the predictive policy at 4 TXs on the 6 s smoke run
+# (fraction of the 16 offered headsets meeting their SLA; the full 30 s
+# run sits higher — see BENCH_arena.json).  The binary exits non-zero on
+# any gate breach; re-reading the JSON here keeps the gate explicit.
+ARENA_SLA_FLOOR="0.75"
+(cd "${smoke_dir}" && "${OLDPWD}/build/bench/arena_capacity" 6 > arena_smoke.log)
+duty="$(sed -n 's/.*"duty_violations": \([0-9.eE+-]*\).*//p'   "${smoke_dir}/BENCH_arena_smoke.json")"
+failmig="$(sed -n 's/.*"failure_migrations": \([0-9.eE+-]*\).*//p'   "${smoke_dir}/BENCH_arena_smoke.json")"
+sla="$(sed -n 's/.*"uniform_tx4_sla_fraction": \([0-9.eE+-]*\).*//p'   "${smoke_dir}/BENCH_arena_smoke.json")"
+echo "arena smoke: duty_violations=${duty}, failure_migrations=${failmig}, uniform_tx4_sla=${sla} (floor ${ARENA_SLA_FLOOR})"
+awk -v d="${duty}" 'BEGIN { exit !(d + 0 == 0) }' || {
+  echo "FAIL: arena smoke reported duty-budget violations" >&2
+  exit 1
+}
+awk -v m="${failmig}" 'BEGIN { exit !(m + 0 >= 1) }' || {
+  echo "FAIL: TX-failure scenario produced no migrations" >&2
+  exit 1
+}
+awk -v s="${sla}" -v floor="${ARENA_SLA_FLOOR}" \
+  'BEGIN { exit !(s + 0 >= floor + 0) }' || {
+  echo "FAIL: arena SLA fraction ${sla} below floor ${ARENA_SLA_FLOOR}" >&2
+  exit 1
+}
+
+echo "== [5/6] tsan-fast: ThreadSanitizer, fast + ctx + phy + stream + arena labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan-fast
 
-echo "== [5/5] obs-off-fast: telemetry compiled out, fast + ctx + phy + stream labels =="
+echo "== [6/6] obs-off-fast: telemetry compiled out, fast + ctx + phy + stream + arena labels =="
 cmake --preset obs-off
 cmake --build --preset obs-off -j "$(nproc)"
 ctest --preset obs-off-fast

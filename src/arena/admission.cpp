@@ -1,0 +1,47 @@
+#include "arena/admission.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cyclops::arena {
+
+AdmissionController::AdmissionController(SlaConfig sla, double duty_budget,
+                                         int frame_slots)
+    : sla_(sla) {
+  assert(frame_slots > 0);
+  // A TX hands out floor(frame_slots * duty) serve-slots per frame; K
+  // roster members split them, so each sees peak * budget / (frame * K).
+  // Solve for the largest K that keeps that (de-rated by the headroom)
+  // above the SLA minimum.
+  const double budget =
+      std::max(1.0, std::floor(frame_slots * duty_budget));
+  const double duty_fraction = budget / frame_slots;
+  const double k = duty_fraction * sla_.admit_headroom *
+                   sla_.peak_rate_gbps / sla_.min_rate_gbps;
+  capacity_ = static_cast<std::size_t>(std::max(1.0, std::floor(k)));
+}
+
+AdmissionController::Decision AdmissionController::place(
+    const std::vector<double>& margins_db,
+    const std::vector<std::size_t>& loads, std::size_t queue_len) const {
+  assert(margins_db.size() == loads.size());
+  Decision d;
+  for (std::size_t tx = 0; tx < margins_db.size(); ++tx) {
+    if (loads[tx] >= capacity_) continue;
+    if (margins_db[tx] < sla_.admit_margin_db) continue;
+    if (d.tx < 0 || margins_db[tx] > margins_db[static_cast<std::size_t>(d.tx)]) {
+      d.tx = static_cast<int>(tx);
+    }
+  }
+  if (d.tx >= 0) {
+    d.action = Decision::kAdmit;
+  } else if (queue_len < sla_.queue_capacity) {
+    d.action = Decision::kQueue;
+  } else {
+    d.action = Decision::kReject;
+  }
+  return d;
+}
+
+}  // namespace cyclops::arena

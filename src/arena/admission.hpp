@@ -1,0 +1,60 @@
+// Admission control: a TX's galvo duty is a finite resource, so the
+// arena accepts a headset only when every admitted headset (including the
+// newcomer) can still be offered its SLA minimum rate.  Overflow goes to
+// a bounded FIFO wait queue (re-examined whenever capacity frees up);
+// beyond that, rejection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cyclops::arena {
+
+struct SlaConfig {
+  /// Minimum average goodput an admitted headset is promised (Gbps).
+  double min_rate_gbps = 1.0;
+  /// Goodput while the beam is on the headset and aligned (Gbps).
+  double peak_rate_gbps = 10.0;
+  /// Fraction of the nominal duty share actually promised — headroom for
+  /// switch outages, occlusion, and pointing recovery slots.
+  double admit_headroom = 0.8;
+  /// Wait-queue bound; arrivals beyond it are rejected outright.
+  std::size_t queue_capacity = 8;
+  /// An admitted headset continuously unservable for longer than this
+  /// (occluded with no migration candidate) is evicted back to the queue.
+  double eviction_grace_s = 2.0;
+  /// Candidate TXs must clear this geometric margin to admit/migrate.
+  double admit_margin_db = 3.0;
+};
+
+class AdmissionController {
+ public:
+  /// `duty_budget` / `frame_slots` mirror the scheduler's ledger; they fix
+  /// how many serve-slots per frame a TX can hand out.
+  AdmissionController(SlaConfig sla, double duty_budget, int frame_slots);
+
+  const SlaConfig& sla() const noexcept { return sla_; }
+
+  /// Headsets one TX can carry with each still promised min_rate:
+  ///   floor(duty * headroom * peak / min_rate), at least 1.
+  std::size_t per_tx_capacity() const noexcept { return capacity_; }
+
+  struct Decision {
+    enum Action { kAdmit, kQueue, kReject } action = kReject;
+    int tx = -1;  ///< Target TX when kAdmit.
+  };
+
+  /// Places a headset given the per-TX geometric margins (dB) and current
+  /// roster sizes: best-margin TX among those with margin >=
+  /// admit_margin_db and load < capacity; otherwise queue (if
+  /// `queue_len` < queue_capacity), otherwise reject.
+  Decision place(const std::vector<double>& margins_db,
+                 const std::vector<std::size_t>& loads,
+                 std::size_t queue_len) const;
+
+ private:
+  SlaConfig sla_;
+  std::size_t capacity_;
+};
+
+}  // namespace cyclops::arena

@@ -1,0 +1,111 @@
+#include "arena/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace cyclops::arena {
+
+const char* to_string(SchedulePolicy policy) noexcept {
+  switch (policy) {
+    case SchedulePolicy::kRoundRobin: return "round_robin";
+    case SchedulePolicy::kMarginWeighted: return "margin_weighted";
+    case SchedulePolicy::kPredictive: return "predictive";
+  }
+  return "?";
+}
+
+BeamScheduler::BeamScheduler(SchedulerConfig config, std::size_t num_tx)
+    : config_(config),
+      budget_per_frame_(std::max(
+          1, static_cast<int>(std::floor(config.frame_slots *
+                                         config.duty_budget)))),
+      rosters_(num_tx),
+      rr_next_(num_tx, 0),
+      frame_served_(num_tx, 0) {
+  assert(config.frame_slots > 0);
+}
+
+void BeamScheduler::add(std::size_t tx, int headset) {
+  rosters_[tx].push_back(headset);
+}
+
+void BeamScheduler::remove(std::size_t tx, int headset) {
+  auto& roster = rosters_[tx];
+  const auto it = std::find(roster.begin(), roster.end(), headset);
+  assert(it != roster.end());
+  const auto index = static_cast<std::size_t>(it - roster.begin());
+  roster.erase(it);
+  // Keep the cyclic cursor pointing at the same *next* headset.
+  if (rr_next_[tx] > index) --rr_next_[tx];
+  if (!roster.empty()) rr_next_[tx] %= roster.size();
+  else rr_next_[tx] = 0;
+}
+
+void BeamScheduler::migrate(int headset, std::size_t from_tx,
+                            std::size_t to_tx) {
+  remove(from_tx, headset);
+  add(to_tx, headset);
+}
+
+void BeamScheduler::schedule_slot(
+    std::uint64_t slot_index,
+    const std::function<HeadsetUrgency(int)>& urgency,
+    std::span<int> out_choice) {
+  assert(out_choice.size() == rosters_.size());
+  const std::uint64_t frame =
+      slot_index / static_cast<std::uint64_t>(config_.frame_slots);
+  if (frame != current_frame_) {
+    current_frame_ = frame;
+    std::fill(frame_served_.begin(), frame_served_.end(), 0);
+  }
+  for (std::size_t tx = 0; tx < rosters_.size(); ++tx) {
+    if (frame_served_[tx] >= budget_per_frame_) {
+      out_choice[tx] = -1;  // duty budget exhausted for this frame
+      continue;
+    }
+    const int choice = pick(tx, urgency);
+    out_choice[tx] = choice;
+    if (choice >= 0) ++frame_served_[tx];
+  }
+}
+
+int BeamScheduler::pick(std::size_t tx,
+                        const std::function<HeadsetUrgency(int)>& urgency) {
+  const auto& roster = rosters_[tx];
+  if (roster.empty()) return -1;
+  if (config_.policy == SchedulePolicy::kRoundRobin) {
+    // Next servable headset in cyclic order.
+    for (std::size_t k = 0; k < roster.size(); ++k) {
+      const std::size_t i = (rr_next_[tx] + k) % roster.size();
+      if (urgency(roster[i]).servable) {
+        rr_next_[tx] = (i + 1) % roster.size();
+        return roster[i];
+      }
+    }
+    return -1;
+  }
+  // Urgency policies: highest score wins, ties to the lowest headset id
+  // (deterministic at any thread count — no pointer or hash order).
+  int best = -1;
+  double best_score = 0.0;
+  for (const int h : roster) {
+    const HeadsetUrgency u = urgency(h);
+    if (!u.servable) continue;
+    const double drift = config_.policy == SchedulePolicy::kPredictive
+                             ? u.predicted_rad
+                             : u.drift_rad;
+    // The starvation term keeps still headsets (zero drift) from being
+    // locked out: 0.05 rad/s of equivalent urgency per starved second.
+    const double score = drift + 0.05 * u.starved_s;
+    if (best < 0 || score > best_score ||
+        (score == best_score && h < best)) {
+      best = h;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace cyclops::arena

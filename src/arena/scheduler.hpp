@@ -1,0 +1,90 @@
+// Galvo time-sharing: each TX steers its beam at ONE headset per slot, so
+// a TX serving K players is a TDM schedule over its roster.  The
+// scheduler enforces a per-TX duty budget (slots per frame the galvo may
+// actively serve; the rest is reserved for safety sweeps / re-calibration
+// dwell) and delegates the who-gets-this-slot choice to a policy:
+//
+//   * kRoundRobin      — cyclic over the roster; the fairness baseline.
+//   * kMarginWeighted  — most-urgent-first: the headset whose fine
+//     pointing has drifted furthest (largest accumulated misalignment)
+//     gets the slot, so margin is spent where it is collapsing.
+//   * kPredictive      — margin-weighted on *predicted* drift a lookahead
+//     ahead (the track's angular speed at t + L), pre-positioning the
+//     beam before a fast head turn instead of reacting after margin
+//     collapse (GazeProphetV2-style head-movement lookahead).
+//
+// The duty budget is a hard invariant: schedule_slot() can never emit
+// more serve-slots per frame than the budget, and the arena property
+// tests fuzz exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace cyclops::arena {
+
+enum class SchedulePolicy { kRoundRobin, kMarginWeighted, kPredictive };
+const char* to_string(SchedulePolicy policy) noexcept;
+
+struct SchedulerConfig {
+  SchedulePolicy policy = SchedulePolicy::kRoundRobin;
+  /// Fraction of each frame's slots a TX's galvo may spend serving.
+  double duty_budget = 0.9;
+  /// Slots per duty-accounting frame.
+  int frame_slots = 10;
+  /// Predictive lookahead (s) — how far ahead kPredictive reads the track.
+  double lookahead_s = 0.12;
+};
+
+/// Per-slot inputs the policies rank headsets by.  The session computes
+/// these; the scheduler owns only rosters and the duty ledger.
+struct HeadsetUrgency {
+  bool servable = false;    ///< Beam possible now (not occluded/switching).
+  double drift_rad = 0.0;   ///< Accumulated fine-pointing misalignment.
+  double predicted_rad = 0.0;  ///< Drift projected lookahead_s ahead.
+  double starved_s = 0.0;   ///< Time since this headset last got a slot.
+};
+
+class BeamScheduler {
+ public:
+  BeamScheduler(SchedulerConfig config, std::size_t num_tx);
+
+  const SchedulerConfig& config() const noexcept { return config_; }
+  /// Serve-slots each TX may emit per frame (floor(frame_slots * budget),
+  /// but at least 1 so a lone TX is never totally mute).
+  int budget_per_frame() const noexcept { return budget_per_frame_; }
+
+  void add(std::size_t tx, int headset);
+  void remove(std::size_t tx, int headset);
+  /// Moves `headset` between rosters (TX↔TX migration commit).
+  void migrate(int headset, std::size_t from_tx, std::size_t to_tx);
+  const std::vector<int>& roster(std::size_t tx) const {
+    return rosters_[tx];
+  }
+
+  /// Chooses the headset each TX serves in slot `slot_index` (global slot
+  /// counter; frames are slot_index / frame_slots).  `urgency(h)` supplies
+  /// the policy inputs for headset h.  out_choice[tx] = headset or -1
+  /// (idle: empty roster, nothing servable, or duty budget exhausted).
+  void schedule_slot(std::uint64_t slot_index,
+                     const std::function<HeadsetUrgency(int)>& urgency,
+                     std::span<int> out_choice);
+
+  /// Serve-slots TX emitted in the current frame (resets at frame edges).
+  int frame_served(std::size_t tx) const { return frame_served_[tx]; }
+
+ private:
+  int pick(std::size_t tx, const std::function<HeadsetUrgency(int)>& urgency);
+
+  SchedulerConfig config_;
+  int budget_per_frame_;
+  std::vector<std::vector<int>> rosters_;
+  std::vector<std::size_t> rr_next_;   ///< Round-robin cursor per TX.
+  std::vector<int> frame_served_;
+  std::uint64_t current_frame_ = 0;
+};
+
+}  // namespace cyclops::arena

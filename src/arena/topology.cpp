@@ -1,0 +1,260 @@
+#include "arena/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace cyclops::arena {
+
+const char* to_string(Scenario scenario) noexcept {
+  switch (scenario) {
+    case Scenario::kUniform: return "uniform";
+    case Scenario::kClusteredCorner: return "clustered_corner";
+    case Scenario::kSyncFastMotion: return "sync_fast_motion";
+  }
+  return "?";
+}
+
+PlayerTrack::PlayerTrack(const WalkConfig& config, double duration_s,
+                         double head_h, util::Rng rng)
+    : duration_s_(duration_s), head_h_(head_h) {
+  const auto point = [&] {
+    return geom::Vec3{rng.uniform(config.x_lo, config.x_hi), head_h_,
+                      rng.uniform(config.z_lo, config.z_hi)};
+  };
+  geom::Vec3 here = point();
+  double t = 0.0;
+  while (t < duration_s_) {
+    const geom::Vec3 next = point();
+    const double speed = rng.uniform(config.speed_lo, config.speed_hi);
+    const double walk_s = std::max(1e-3, distance(here, next) / speed);
+    segments_.push_back({t, t + walk_s, here, next});
+    t += walk_s;
+    const double pause_s = rng.uniform(config.pause_lo_s, config.pause_hi_s);
+    segments_.push_back({t, t + pause_s, next, next});
+    t += pause_s;
+    here = next;
+  }
+  rebuild_bursts(rng, config);
+}
+
+void PlayerTrack::rebuild_bursts(util::Rng& rng, const WalkConfig& config) {
+  bursts_.clear();
+  if (config.burst_interval_s <= 0.0) return;
+  double t = rng.uniform(0.0, config.burst_interval_s);
+  double yaw = 0.0;
+  while (t < duration_s_) {
+    const double ang = rng.uniform(config.burst_ang_lo, config.burst_ang_hi);
+    const double sweep =
+        rng.uniform(config.burst_sweep_lo, config.burst_sweep_hi);
+    const double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    const double dur = sweep / ang;
+    bursts_.push_back({t, t + dur, yaw, sign * ang});
+    yaw += sign * sweep;
+    t += dur + rng.uniform(0.5 * config.burst_interval_s,
+                           1.5 * config.burst_interval_s);
+  }
+}
+
+void PlayerTrack::set_burst_schedule(const std::vector<double>& start_times_s,
+                                     double ang_speed_rps, double sweep_rad) {
+  bursts_.clear();
+  double yaw = 0.0;
+  const double dur = sweep_rad / ang_speed_rps;
+  for (std::size_t i = 0; i < start_times_s.size(); ++i) {
+    const double t = start_times_s[i];
+    if (t >= duration_s_) break;
+    const double sign = (i % 2 == 0) ? 1.0 : -1.0;  // sweep back and forth
+    bursts_.push_back({t, t + dur, yaw, sign * ang_speed_rps});
+    yaw += sign * sweep_rad;
+  }
+}
+
+TrackSample PlayerTrack::sample(util::SimTimeUs t) const {
+  const double ts = std::min(util::us_to_s(t), duration_s_);
+  TrackSample s;
+  // Position: binary search the walk segments (sorted, contiguous).
+  const auto seg = std::partition_point(
+      segments_.begin(), segments_.end(),
+      [ts](const Segment& g) { return g.t1_s <= ts; });
+  if (seg == segments_.end()) {
+    s.pos = segments_.empty() ? geom::Vec3{0.0, head_h_, 0.0}
+                              : segments_.back().to;
+  } else {
+    const double span = seg->t1_s - seg->t0_s;
+    const double a = span > 0.0 ? (ts - seg->t0_s) / span : 1.0;
+    s.pos = seg->from + (seg->to - seg->from) * a;
+    s.lin_speed = distance(seg->from, seg->to) / std::max(span, 1e-9);
+  }
+  // Yaw: last burst whose start is <= ts fixes the phase.
+  const auto b = std::partition_point(
+      bursts_.begin(), bursts_.end(),
+      [ts](const Burst& g) { return g.t0_s <= ts; });
+  if (b != bursts_.begin()) {
+    const Burst& burst = *(b - 1);
+    if (ts < burst.t1_s) {
+      s.yaw = burst.from_yaw + burst.ang_speed * (ts - burst.t0_s);
+      s.ang_speed = std::abs(burst.ang_speed);
+    } else {
+      s.yaw =
+          burst.from_yaw + burst.ang_speed * (burst.t1_s - burst.t0_s);
+    }
+  }
+  return s;
+}
+
+ArenaTopology::ArenaTopology(ArenaConfig config, std::size_t num_tx,
+                             std::vector<PlayerTrack> tracks)
+    : config_(config),
+      tx_positions_(tx_grid(config, num_tx)),
+      tracks_(std::move(tracks)) {}
+
+std::vector<geom::Vec3> ArenaTopology::tx_grid(const ArenaConfig& config,
+                                               std::size_t n) {
+  std::vector<geom::Vec3> out;
+  if (n == 0) return out;
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t rows = (n + cols - 1) / cols;
+  out.reserve(n);
+  for (std::size_t r = 0; r < rows && out.size() < n; ++r) {
+    // The last row may be short; center its columns too.
+    const std::size_t row_cols = std::min(cols, n - r * cols);
+    for (std::size_t c = 0; c < row_cols; ++c) {
+      const double x =
+          config.room_w * (static_cast<double>(c) + 0.5) /
+              static_cast<double>(row_cols) -
+          config.room_w * 0.5;
+      const double z =
+          config.room_d * (static_cast<double>(r) + 0.5) /
+              static_cast<double>(rows) -
+          config.room_d * 0.5;
+      out.push_back({x, config.ceiling_h, z});
+    }
+  }
+  return out;
+}
+
+std::vector<PlayerTrack> ArenaTopology::make_tracks(const ArenaConfig& config,
+                                                    std::size_t m,
+                                                    Scenario scenario,
+                                                    double duration_s,
+                                                    std::uint64_t seed) {
+  PlayerTrack::WalkConfig walk;
+  const double margin = 0.5;  // keep off the walls
+  walk.x_lo = -config.room_w * 0.5 + margin;
+  walk.x_hi = config.room_w * 0.5 - margin;
+  walk.z_lo = -config.room_d * 0.5 + margin;
+  walk.z_hi = config.room_d * 0.5 - margin;
+  if (scenario == Scenario::kClusteredCorner) {
+    // Everyone in one corner quadrant: one TX's cone is oversubscribed
+    // and bodies crowd each other's beams.
+    walk.x_lo = config.room_w * 0.5 - std::max(1.5, config.room_w * 0.3);
+    walk.z_lo = config.room_d * 0.5 - std::max(1.5, config.room_d * 0.3);
+  }
+  util::Rng base(seed);
+  std::vector<PlayerTrack> tracks;
+  tracks.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    tracks.emplace_back(walk, duration_s, config.head_h, base.split(i));
+  }
+  if (scenario == Scenario::kSyncFastMotion) {
+    // Everyone whips their head at the same instants — worst case for
+    // galvo time-sharing, since every headset needs fresh pointing at
+    // once.
+    std::vector<double> starts;
+    for (double t = 2.0; t < duration_s; t += 3.0) starts.push_back(t);
+    for (auto& track : tracks) {
+      track.set_burst_schedule(starts, /*ang_speed_rps=*/4.0,
+                               /*sweep_rad=*/2.0);
+    }
+  }
+  return tracks;
+}
+
+std::vector<TrackSample> ArenaTopology::sample_all(util::SimTimeUs t) const {
+  std::vector<TrackSample> out;
+  out.reserve(tracks_.size());
+  for (const auto& track : tracks_) out.push_back(track.sample(t));
+  return out;
+}
+
+bool ArenaTopology::segment_hits_cylinder(const geom::Vec3& a,
+                                          const geom::Vec3& b,
+                                          const geom::Vec3& base, double r,
+                                          double top) {
+  // Work in the xz plane: find the s-interval of p(s) = a + s (b - a),
+  // s in [0, 1], whose horizontal distance to the cylinder axis is < r,
+  // then check whether the segment's height dips to <= top anywhere in
+  // that interval (y is linear in s, so its minimum is at an endpoint).
+  // Every quantity is a symmetric function of the unordered pair {a, b}
+  // up to the s -> 1 - s relabeling, so the test is endpoint-symmetric.
+  const double dx = b.x - a.x, dz = b.z - a.z;
+  const double fx = a.x - base.x, fz = a.z - base.z;
+  const double qa = dx * dx + dz * dz;
+  const double qb = 2.0 * (fx * dx + fz * dz);
+  const double qc = fx * fx + fz * fz - r * r;
+  double s0, s1;
+  if (qa <= 1e-12) {
+    // Degenerate horizontal direction (vertical segment): inside or out.
+    if (qc >= 0.0) return false;
+    s0 = 0.0;
+    s1 = 1.0;
+  } else {
+    const double disc = qb * qb - 4.0 * qa * qc;
+    if (disc <= 0.0) return false;  // never enters the cylinder radially
+    const double root = std::sqrt(disc);
+    s0 = (-qb - root) / (2.0 * qa);
+    s1 = (-qb + root) / (2.0 * qa);
+    s0 = std::max(s0, 0.0);
+    s1 = std::min(s1, 1.0);
+    if (s0 >= s1) return false;  // overlap lies outside the segment
+  }
+  const double y0 = a.y + (b.y - a.y) * s0;
+  const double y1 = a.y + (b.y - a.y) * s1;
+  return std::min(y0, y1) <= top;
+}
+
+bool ArenaTopology::beam_occluded(
+    std::size_t tx, std::size_t player,
+    const std::vector<TrackSample>& samples) const {
+  assert(tx < tx_positions_.size() && player < samples.size());
+  const geom::Vec3& from = tx_positions_[tx];
+  const geom::Vec3& to = samples[player].pos;
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    if (j == player) continue;  // your own body is below your headset
+    if (segment_hits_cylinder(from, to, samples[j].pos, config_.body_radius,
+                              config_.head_h)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ArenaTopology::range_m(std::size_t tx,
+                              const TrackSample& player) const {
+  return distance(tx_positions_[tx], player.pos);
+}
+
+double ArenaTopology::geo_margin_db(std::size_t tx, const TrackSample& player,
+                                    bool occluded) const {
+  if (occluded) return kBlockedMarginDb;
+  const geom::Vec3 delta = player.pos - tx_positions_[tx];
+  const double drop = -delta.y;  // TX is above the head
+  if (drop <= 0.0) return kBlockedMarginDb;
+  const double horiz = std::sqrt(delta.x * delta.x + delta.z * delta.z);
+  const double zenith_deg = util::rad_to_deg(std::atan2(horiz, drop));
+  if (zenith_deg > config_.fov_deg) return kBlockedMarginDb;
+  const double range = delta.norm();
+  // Free-space spreading of the diverging beam: 20 log10(d / d0).
+  const double range_loss =
+      20.0 * std::log10(std::max(range, 0.1) / config_.ref_range_m);
+  const double angle_loss =
+      std::max(0.0, zenith_deg - config_.comfortable_zenith_deg) *
+      config_.angle_loss_db_per_deg;
+  return config_.base_margin_db - range_loss - angle_loss;
+}
+
+}  // namespace cyclops::arena

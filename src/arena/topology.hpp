@@ -1,0 +1,179 @@
+// Multi-TX arena geometry: N ceiling transmitters and M headset motion
+// tracks sharing one room's airspace.
+//
+// The paper deploys one TX over one headset; an arcade/classroom is a
+// grid of ceiling TXs time-sharing their galvos across players whose
+// *bodies* occlude each other's beams.  This layer is the spatial model
+// the arena session (arena/session) runs on:
+//
+//   * TX placement   — a near-square ceiling grid centered in the room.
+//   * Player tracks  — deterministic waypoint walks (position) plus yaw
+//     "turn bursts" (the fast head motion that stresses beam pointing),
+//     all a pure function of (seed, t) so every run is reproducible.
+//   * Occlusion      — each player's body is a vertical cylinder; a TX →
+//     headset ray blocked by *another* player's cylinder is a blocked
+//     beam.  This generalizes the mmWave blockage model (phy::MmWave's
+//     body-blockage spans) to FSO line-of-sight geometry; the ray test is
+//     symmetric in its endpoints by construction (property-tested).
+//   * Link margin    — a scalar dB margin per (TX, headset) pair from
+//     range spreading and off-axis (galvo cone) loss, kBlockedMarginDb
+//     when occluded / out of cone / failed.  The arena session layers the
+//     fine-pointing staleness penalty (scheduling-dependent) on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::arena {
+
+/// Margin assigned to a beam that cannot exist at all (occluded, outside
+/// the galvo cone, failed TX).  Finite so downstream arithmetic and JSON
+/// stay clean, far below any drop threshold.
+inline constexpr double kBlockedMarginDb = -300.0;
+
+struct ArenaConfig {
+  /// Room extent (m), centered on the origin: x in [-room_w/2, room_w/2],
+  /// z in [-room_d/2, room_d/2].
+  double room_w = 8.0;
+  double room_d = 8.0;
+  double ceiling_h = 2.8;  ///< TX mount height (m).
+  double head_h = 1.6;     ///< Headset (and body-cylinder top) height (m).
+  double body_radius = 0.22;  ///< Player body occluder radius (m).
+
+  /// Galvo steering cone: half-angle from straight down (deg).  Beyond
+  /// it the TX simply cannot point at the headset.  70 deg puts a TX's
+  /// cell at ~3.3 m radius on the head plane — a 2x2 ceiling grid covers
+  /// an 8x8 m room with overlap at the cell seams, one TX leaves the
+  /// walls dark (the capacity curve's reason to add TXs).
+  double fov_deg = 70.0;
+  /// Link margin (dB) straight below a TX at ref_range_m.
+  double base_margin_db = 14.0;
+  double ref_range_m = 2.0;
+  /// Beyond this zenith angle, margin decays linearly per degree — the
+  /// coupling/incidence loss of a steeply angled beam.
+  double comfortable_zenith_deg = 25.0;
+  double angle_loss_db_per_deg = 0.2;
+};
+
+/// Instantaneous kinematic state of one player's headset.
+struct TrackSample {
+  geom::Vec3 pos;          ///< Head position (m, world frame).
+  double yaw = 0.0;        ///< Facing (rad; cosmetic, bursts drive it).
+  double ang_speed = 0.0;  ///< |dyaw/dt| (rad/s).
+  double lin_speed = 0.0;  ///< |dpos/dt| (m/s).
+};
+
+/// One player's deterministic motion: piecewise-linear waypoint walking
+/// with pauses, plus yaw turn bursts at (seeded or scripted) times.
+/// Everything is precomputed at construction; sample() is pure.
+class PlayerTrack {
+ public:
+  struct WalkConfig {
+    /// Walk region (world xz rectangle).  Defaults to the whole room
+    /// minus a wall margin; the clustered-corner scenario shrinks it.
+    double x_lo = 0.0, x_hi = 0.0, z_lo = 0.0, z_hi = 0.0;
+    double speed_lo = 0.6, speed_hi = 1.2;  ///< Walk speed range (m/s).
+    double pause_lo_s = 0.5, pause_hi_s = 2.0;
+    /// Mean interval between yaw turn bursts (s); 0 disables bursts.
+    double burst_interval_s = 4.0;
+    double burst_ang_lo = 1.5, burst_ang_hi = 5.0;  ///< Burst speed (rad/s).
+    double burst_sweep_lo = 1.0, burst_sweep_hi = 2.6;  ///< Sweep (rad).
+  };
+
+  /// Randomized track: positions and burst times drawn from `rng`.
+  PlayerTrack(const WalkConfig& config, double duration_s, double head_h,
+              util::Rng rng);
+
+  /// Replaces the seeded burst schedule with a fixed one (synchronized
+  /// fast-head-motion scenario: every player turns at the same instants).
+  void set_burst_schedule(const std::vector<double>& start_times_s,
+                          double ang_speed_rps, double sweep_rad);
+
+  TrackSample sample(util::SimTimeUs t) const;
+  double duration_s() const noexcept { return duration_s_; }
+
+ private:
+  struct Segment {          // position: linear from -> to over [t0, t1]
+    double t0_s, t1_s;
+    geom::Vec3 from, to;
+  };
+  struct Burst {            // yaw sweep at ang_speed over [t0, t1]
+    double t0_s, t1_s;
+    double from_yaw, ang_speed;  // signed rad/s
+  };
+  void rebuild_bursts(util::Rng& rng, const WalkConfig& config);
+
+  double duration_s_;
+  double head_h_;
+  std::vector<Segment> segments_;
+  std::vector<Burst> bursts_;
+};
+
+/// Built-in player populations for the bench scenarios.
+enum class Scenario {
+  kUniform,          ///< Players spread over the whole room.
+  kClusteredCorner,  ///< Everyone packed into one corner quadrant.
+  kSyncFastMotion,   ///< Uniform walks + synchronized fast yaw bursts.
+};
+const char* to_string(Scenario scenario) noexcept;
+
+/// The static world: TX positions + player tracks + the geometry math.
+class ArenaTopology {
+ public:
+  ArenaTopology(ArenaConfig config, std::size_t num_tx,
+                std::vector<PlayerTrack> tracks);
+
+  /// Near-square ceiling grid for `n` TXs, centered in the room.
+  static std::vector<geom::Vec3> tx_grid(const ArenaConfig& config,
+                                         std::size_t n);
+  /// Scenario population of `m` tracks (deterministic in `seed`).
+  static std::vector<PlayerTrack> make_tracks(const ArenaConfig& config,
+                                              std::size_t m,
+                                              Scenario scenario,
+                                              double duration_s,
+                                              std::uint64_t seed);
+
+  const ArenaConfig& config() const noexcept { return config_; }
+  std::size_t num_tx() const noexcept { return tx_positions_.size(); }
+  std::size_t num_players() const noexcept { return tracks_.size(); }
+  const geom::Vec3& tx_position(std::size_t i) const {
+    return tx_positions_[i];
+  }
+  const PlayerTrack& track(std::size_t i) const { return tracks_[i]; }
+
+  /// Kinematic state of every player at `t` (index == player).
+  std::vector<TrackSample> sample_all(util::SimTimeUs t) const;
+
+  /// True when the segment a→b passes through the vertical body cylinder
+  /// of radius r, height [0, top], centered (in xz) at `base`.  Symmetric
+  /// in (a, b) by construction.
+  static bool segment_hits_cylinder(const geom::Vec3& a, const geom::Vec3& b,
+                                    const geom::Vec3& base, double r,
+                                    double top);
+
+  /// Is the TX→headset beam for `player` blocked by any *other* player's
+  /// body at these positions?
+  bool beam_occluded(std::size_t tx, std::size_t player,
+                     const std::vector<TrackSample>& samples) const;
+
+  /// Geometric link margin (dB) of TX `tx` serving `player`:
+  /// base − range spreading − off-axis loss; kBlockedMarginDb when the
+  /// player is outside the galvo cone or `occluded` is set.  Staleness
+  /// (scheduling) penalties are the session's business, not geometry's.
+  double geo_margin_db(std::size_t tx, const TrackSample& player,
+                       bool occluded) const;
+
+  /// Straight-line TX→headset range (m).
+  double range_m(std::size_t tx, const TrackSample& player) const;
+
+ private:
+  ArenaConfig config_;
+  std::vector<geom::Vec3> tx_positions_;
+  std::vector<PlayerTrack> tracks_;
+};
+
+}  // namespace cyclops::arena

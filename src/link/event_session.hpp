@@ -13,6 +13,7 @@
 // step.
 #pragma once
 
+#include <cassert>
 #include <span>
 
 #include "core/tp_controller.hpp"
@@ -98,6 +99,13 @@ class HandoverProcess final : public event::Process {
   const char* name() const noexcept override { return "handover"; }
 
   int active() const noexcept { return active_; }
+  /// Seeds the serving TX before handover takes over — initial placement
+  /// (an admission controller assigning the session to its first TX).
+  /// Not legal while a switch is pending.
+  void set_active(int tx) noexcept {
+    assert(!switch_pending_);
+    active_ = tx;
+  }
   bool switching() const noexcept { return switch_pending_; }
   /// Switches that took (or will take) effect: started minus cancelled —
   /// matches HandoverManager::switches() when nothing is cancelled.

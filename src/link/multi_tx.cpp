@@ -126,9 +126,16 @@ class MultiTxSlotProcess final : public event::Process {
 
     const int serving = s_.handover.on_powers(s_.powers);
     ++s_.slots;
-    if (serving >= 0 &&
-        s_.powers[static_cast<std::size_t>(serving)] >= s_.sensitivity) {
-      ++s_.served;
+    const bool serving_usable =
+        serving >= 0 &&
+        s_.powers[static_cast<std::size_t>(serving)] >= s_.sensitivity;
+    if (serving_usable) ++s_.served;
+    if (s_.config.on_slot) {
+      const double power =
+          serving >= 0
+              ? s_.powers[static_cast<std::size_t>(serving)]
+              : *std::max_element(s_.powers.begin(), s_.powers.end());
+      s_.config.on_slot(now, serving, serving_usable, power);
     }
 
     const util::SimTimeUs next = now + s_.config.step;

@@ -39,6 +39,12 @@ struct MultiTxConfig {
   double report_period_ms = 12.5;
   /// Per-chain TP configuration (DAQ latency, optional pose prediction).
   core::TpConfig tp;
+  /// Per-slot decision tap (mirrors HeteroConfig::on_slot): called after
+  /// the handover decision each sampling slot with (time, serving TX index
+  /// or -1 while a switch is in flight, serving-TX-usable, serving power
+  /// dBm — the best power seen this slot when mid-switch).  The structured
+  /// trail behind "which TX carried slot t and why did we leave it".
+  std::function<void(util::SimTimeUs, int, bool, double)> on_slot;
 };
 
 struct MultiTxResult {

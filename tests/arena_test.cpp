@@ -1,0 +1,382 @@
+// Unit and property tests for the arena's building blocks: topology
+// geometry (grid, margins, occlusion), the beam scheduler's duty-budget
+// invariant, and admission control.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <vector>
+
+#include "arena/admission.hpp"
+#include "arena/scheduler.hpp"
+#include "arena/topology.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace cyclops::arena {
+namespace {
+
+// ---- Topology: TX grid ----
+
+TEST(ArenaTopologyTest, SingleTxSitsAtRoomCenter) {
+  const ArenaConfig config;
+  const auto grid = ArenaTopology::tx_grid(config, 1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_NEAR(grid[0].x, 0.0, 1e-12);
+  EXPECT_NEAR(grid[0].z, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(grid[0].y, config.ceiling_h);
+}
+
+TEST(ArenaTopologyTest, GridIsCenteredAndInsideRoom) {
+  const ArenaConfig config;
+  for (const std::size_t n : {2u, 4u, 6u, 9u}) {
+    const auto grid = ArenaTopology::tx_grid(config, n);
+    ASSERT_EQ(grid.size(), n);
+    double sx = 0.0, sz = 0.0;
+    for (const auto& p : grid) {
+      EXPECT_DOUBLE_EQ(p.y, config.ceiling_h);
+      EXPECT_LE(std::abs(p.x), config.room_w / 2.0);
+      EXPECT_LE(std::abs(p.z), config.room_d / 2.0);
+      sx += p.x;
+      sz += p.z;
+    }
+    EXPECT_NEAR(sx / static_cast<double>(n), 0.0, 1e-9);
+    EXPECT_NEAR(sz / static_cast<double>(n), 0.0, 1e-9);
+  }
+}
+
+// ---- Topology: link margin ----
+
+TEST(ArenaTopologyTest, MarginPeaksBelowTxAndDecaysWithRangeAndAngle) {
+  const ArenaConfig config;
+  ArenaTopology topo(config, 1,
+                     ArenaTopology::make_tracks(config, 1, Scenario::kUniform,
+                                                1.0, 1));
+  TrackSample below;
+  below.pos = {0.0, config.head_h, 0.0};
+  const double m0 = topo.geo_margin_db(0, below, false);
+  // Straight below: zenith 0, range = ceiling - head; pure spreading law.
+  const double drop = config.ceiling_h - config.head_h;
+  EXPECT_NEAR(m0,
+              config.base_margin_db -
+                  20.0 * std::log10(drop / config.ref_range_m),
+              1e-9);
+
+  TrackSample offset = below;
+  offset.pos.x = 1.5;  // farther and off-axis: strictly worse
+  const double m1 = topo.geo_margin_db(0, offset, false);
+  EXPECT_LT(m1, m0);
+  EXPECT_GT(m1, kBlockedMarginDb);
+
+  // Outside the galvo cone the beam cannot exist at all.  The cell edge
+  // at head height is (ceiling - head) * tan(fov).
+  const double cell =
+      (config.ceiling_h - config.head_h) *
+      std::tan(config.fov_deg * std::numbers::pi / 180.0);
+  TrackSample outside = below;
+  outside.pos.x = cell * 1.05;
+  EXPECT_EQ(topo.geo_margin_db(0, outside, false), kBlockedMarginDb);
+
+  // Occlusion blocks regardless of geometry.
+  EXPECT_EQ(topo.geo_margin_db(0, below, true), kBlockedMarginDb);
+}
+
+// ---- Topology: cylinder intersection ----
+
+TEST(ArenaCylinderTest, KnownGeometry) {
+  const geom::Vec3 base{0.0, 0.0, 0.0};
+  const double r = 0.25, top = 1.6;
+  // Horizontal segment through the axis at mid height: hit.
+  EXPECT_TRUE(ArenaTopology::segment_hits_cylinder(
+      {-2.0, 1.0, 0.0}, {2.0, 1.0, 0.0}, base, r, top));
+  // Same segment far off to the side: miss.
+  EXPECT_FALSE(ArenaTopology::segment_hits_cylinder(
+      {-2.0, 1.0, 1.0}, {2.0, 1.0, 1.0}, base, r, top));
+  // Passing over the top of the cylinder: miss.
+  EXPECT_FALSE(ArenaTopology::segment_hits_cylinder(
+      {-2.0, 2.0, 0.0}, {2.0, 2.0, 0.0}, base, r, top));
+  // Steep ceiling-to-floor segment grazing the axis region: hit.
+  EXPECT_TRUE(ArenaTopology::segment_hits_cylinder(
+      {0.1, 2.8, 0.1}, {-0.1, 0.2, -0.1}, base, r, top));
+}
+
+TEST(ArenaCylinderTest, EndpointSymmetryProperty) {
+  util::Rng rng(0xA11CE5);
+  for (int i = 0; i < 2000; ++i) {
+    const geom::Vec3 a{rng.uniform(-4.0, 4.0), rng.uniform(0.0, 3.0),
+                       rng.uniform(-4.0, 4.0)};
+    const geom::Vec3 b{rng.uniform(-4.0, 4.0), rng.uniform(0.0, 3.0),
+                       rng.uniform(-4.0, 4.0)};
+    const geom::Vec3 base{rng.uniform(-3.0, 3.0), 0.0,
+                          rng.uniform(-3.0, 3.0)};
+    const double r = rng.uniform(0.05, 0.5);
+    const double top = rng.uniform(0.5, 2.5);
+    EXPECT_EQ(ArenaTopology::segment_hits_cylinder(a, b, base, r, top),
+              ArenaTopology::segment_hits_cylinder(b, a, base, r, top))
+        << "asymmetric hit test at iteration " << i;
+  }
+}
+
+TEST(ArenaOcclusionTest, OwnBodyNeverOccludesAndBlockerDoes) {
+  const ArenaConfig config;
+  // A lone player can never be occluded (only *other* bodies count).
+  ArenaTopology solo(config, 1,
+                     ArenaTopology::make_tracks(config, 1, Scenario::kUniform,
+                                                2.0, 3));
+  for (int ms = 0; ms < 2000; ms += 100) {
+    const auto samples = solo.sample_all(util::us_from_ms(ms));
+    EXPECT_FALSE(solo.beam_occluded(0, 0, samples));
+  }
+
+  // Hand-built samples.  A ceiling beam only dips below head height at
+  // the receiver, so bodies block it where it lands: a player standing
+  // shoulder-to-shoulder with the receiver (within body_radius in xz)
+  // occludes; the same body mid-path at head height does not — the beam
+  // passes over it.
+  ArenaTopology pair(config, 1,
+                     ArenaTopology::make_tracks(config, 2, Scenario::kUniform,
+                                                2.0, 3));
+  std::vector<TrackSample> samples(2);
+  samples[0].pos = {1.2, config.head_h, 0.0};
+  samples[1].pos = {1.05, config.head_h, 0.1};  // 0.18 m away: adjacent
+  EXPECT_TRUE(pair.beam_occluded(0, 0, samples));
+  // Mid-path, same height: the slanted beam clears the body.
+  samples[1].pos = {0.5, config.head_h, 0.0};
+  EXPECT_FALSE(pair.beam_occluded(0, 0, samples));
+  // Well off to the side: clear.
+  samples[1].pos = {1.05, config.head_h, 2.0};
+  EXPECT_FALSE(pair.beam_occluded(0, 0, samples));
+}
+
+TEST(ArenaTrackTest, SamplesStayInRoomAndAreDeterministic) {
+  const ArenaConfig config;
+  const auto tracks = ArenaTopology::make_tracks(
+      config, 4, Scenario::kUniform, 10.0, 99);
+  const auto again = ArenaTopology::make_tracks(
+      config, 4, Scenario::kUniform, 10.0, 99);
+  ASSERT_EQ(tracks.size(), 4u);
+  for (std::size_t p = 0; p < tracks.size(); ++p) {
+    for (int ms = 0; ms <= 10000; ms += 250) {
+      const TrackSample s = tracks[p].sample(util::us_from_ms(ms));
+      EXPECT_LE(std::abs(s.pos.x), config.room_w / 2.0);
+      EXPECT_LE(std::abs(s.pos.z), config.room_d / 2.0);
+      EXPECT_DOUBLE_EQ(s.pos.y, config.head_h);
+      const TrackSample s2 = again[p].sample(util::us_from_ms(ms));
+      EXPECT_DOUBLE_EQ(s.pos.x, s2.pos.x);
+      EXPECT_DOUBLE_EQ(s.yaw, s2.yaw);
+    }
+  }
+}
+
+TEST(ArenaTrackTest, ClusteredCornerConfinesPlayers) {
+  const ArenaConfig config;
+  const auto tracks = ArenaTopology::make_tracks(
+      config, 4, Scenario::kClusteredCorner, 8.0, 7);
+  for (const auto& track : tracks) {
+    for (int ms = 0; ms <= 8000; ms += 500) {
+      const TrackSample s = track.sample(util::us_from_ms(ms));
+      // Everyone lives in one quadrant (positive x/z corner).
+      EXPECT_GE(s.pos.x, 0.0);
+      EXPECT_GE(s.pos.z, 0.0);
+    }
+  }
+}
+
+// ---- BeamScheduler ----
+
+HeadsetUrgency servable_urgency(double drift = 0.0, double predicted = 0.0,
+                                double starved = 0.0) {
+  HeadsetUrgency u;
+  u.servable = true;
+  u.drift_rad = drift;
+  u.predicted_rad = predicted;
+  u.starved_s = starved;
+  return u;
+}
+
+TEST(BeamSchedulerTest, BudgetPerFrameFormula) {
+  SchedulerConfig config;
+  config.frame_slots = 10;
+  config.duty_budget = 0.9;
+  EXPECT_EQ(BeamScheduler(config, 1).budget_per_frame(), 9);
+  config.duty_budget = 0.05;  // floor(0.5) = 0, clamped to 1
+  EXPECT_EQ(BeamScheduler(config, 1).budget_per_frame(), 1);
+}
+
+TEST(BeamSchedulerTest, RoundRobinCyclesRoster) {
+  SchedulerConfig config;
+  config.policy = SchedulePolicy::kRoundRobin;
+  config.frame_slots = 100;  // budget never binds here
+  BeamScheduler beam(config, 1);
+  beam.add(0, 5);
+  beam.add(0, 7);
+  beam.add(0, 9);
+  std::vector<int> choice(1);
+  std::vector<int> picks;
+  for (std::uint64_t slot = 0; slot < 6; ++slot) {
+    beam.schedule_slot(slot, [](int) { return servable_urgency(); },
+                       choice);
+    picks.push_back(choice[0]);
+  }
+  EXPECT_EQ(picks, (std::vector<int>{5, 7, 9, 5, 7, 9}));
+}
+
+TEST(BeamSchedulerTest, RoundRobinSkipsUnservable) {
+  SchedulerConfig config;
+  config.policy = SchedulePolicy::kRoundRobin;
+  config.frame_slots = 100;
+  BeamScheduler beam(config, 1);
+  beam.add(0, 0);
+  beam.add(0, 1);
+  std::vector<int> choice(1);
+  const auto only_h1 = [](int h) {
+    HeadsetUrgency u = servable_urgency();
+    u.servable = (h == 1);
+    return u;
+  };
+  for (std::uint64_t slot = 0; slot < 4; ++slot) {
+    beam.schedule_slot(slot, only_h1, choice);
+    EXPECT_EQ(choice[0], 1);
+  }
+  // Nothing servable -> idle slot, not a crash or a stale pick.
+  beam.schedule_slot(4, [](int) { return HeadsetUrgency{}; }, choice);
+  EXPECT_EQ(choice[0], -1);
+}
+
+TEST(BeamSchedulerTest, MigrateMovesBetweenRosters) {
+  SchedulerConfig config;
+  BeamScheduler beam(config, 2);
+  beam.add(0, 3);
+  beam.add(0, 4);
+  beam.migrate(4, 0, 1);
+  EXPECT_EQ(beam.roster(0), (std::vector<int>{3}));
+  EXPECT_EQ(beam.roster(1), (std::vector<int>{4}));
+}
+
+TEST(BeamSchedulerTest, MarginWeightedPicksLargestDriftLowestIdTie) {
+  SchedulerConfig config;
+  config.policy = SchedulePolicy::kMarginWeighted;
+  config.frame_slots = 100;
+  BeamScheduler beam(config, 1);
+  beam.add(0, 0);
+  beam.add(0, 1);
+  beam.add(0, 2);
+  std::vector<int> choice(1);
+  const auto drifts = [](int h) {
+    return servable_urgency(h == 1 ? 0.5 : 0.1);
+  };
+  beam.schedule_slot(0, drifts, choice);
+  EXPECT_EQ(choice[0], 1);
+  // Exact tie: lowest headset id wins (deterministic across platforms).
+  beam.schedule_slot(1, [](int) { return servable_urgency(0.3); }, choice);
+  EXPECT_EQ(choice[0], 0);
+}
+
+TEST(BeamSchedulerTest, PredictiveRanksOnPredictedDrift) {
+  SchedulerConfig config;
+  config.policy = SchedulePolicy::kPredictive;
+  config.frame_slots = 100;
+  BeamScheduler beam(config, 1);
+  beam.add(0, 0);
+  beam.add(0, 1);
+  std::vector<int> choice(1);
+  // Headset 0 has more accumulated drift, but headset 1 is about to turn
+  // fast: predictive pre-positions for the turn.
+  const auto urgency = [](int h) {
+    return h == 0 ? servable_urgency(0.2, 0.2) : servable_urgency(0.05, 0.6);
+  };
+  beam.schedule_slot(0, urgency, choice);
+  EXPECT_EQ(choice[0], 1);
+}
+
+// The hard invariant (§tentpole): no TX ever emits more serve-slots per
+// frame than its duty budget, under any roster, policy, or servability
+// pattern.
+TEST(BeamSchedulerPropertyTest, DutyBudgetNeverExceeded) {
+  util::Rng rng(0xD00D);
+  for (int trial = 0; trial < 60; ++trial) {
+    SchedulerConfig config;
+    config.policy = static_cast<SchedulePolicy>(rng.uniform_index(3));
+    config.frame_slots = 2 + static_cast<int>(rng.uniform_index(12));
+    config.duty_budget = rng.uniform(0.05, 1.0);
+    const std::size_t num_tx = 1 + rng.uniform_index(4);
+    BeamScheduler beam(config, num_tx);
+
+    int next_headset = 0;
+    for (std::size_t tx = 0; tx < num_tx; ++tx) {
+      const std::size_t roster = rng.uniform_index(5);
+      for (std::size_t k = 0; k < roster; ++k) beam.add(tx, next_headset++);
+    }
+
+    std::vector<int> choice(num_tx);
+    std::vector<int> served_this_frame(num_tx, 0);
+    const std::uint64_t slots = 20u * static_cast<std::uint64_t>(
+                                          config.frame_slots);
+    for (std::uint64_t slot = 0; slot < slots; ++slot) {
+      if (slot % static_cast<std::uint64_t>(config.frame_slots) == 0) {
+        std::fill(served_this_frame.begin(), served_this_frame.end(), 0);
+      }
+      auto local = rng.split(slot);
+      const auto urgency = [&local](int) {
+        HeadsetUrgency u;
+        u.servable = local.uniform() < 0.8;
+        u.drift_rad = local.uniform(0.0, 0.1);
+        u.predicted_rad = u.drift_rad + local.uniform(0.0, 0.1);
+        u.starved_s = local.uniform(0.0, 1.0);
+        return u;
+      };
+      beam.schedule_slot(slot, urgency, choice);
+      for (std::size_t tx = 0; tx < num_tx; ++tx) {
+        if (choice[tx] >= 0) ++served_this_frame[tx];
+        ASSERT_LE(served_this_frame[tx], beam.budget_per_frame())
+            << "duty budget exceeded: trial " << trial << " slot " << slot;
+        ASSERT_EQ(beam.frame_served(tx), served_this_frame[tx]);
+      }
+    }
+  }
+}
+
+// ---- AdmissionController ----
+
+TEST(AdmissionTest, CapacityFormula) {
+  SlaConfig sla;  // min 1, peak 10, headroom 0.8
+  EXPECT_EQ(AdmissionController(sla, 0.9, 10).per_tx_capacity(), 7u);
+  // Tiny duty still carries one headset (never a zero-capacity TX).
+  EXPECT_EQ(AdmissionController(sla, 0.01, 10).per_tx_capacity(), 1u);
+}
+
+TEST(AdmissionTest, PlacesOnBestMarginTxWithRoom) {
+  const SlaConfig sla;
+  const AdmissionController ctl(sla, 0.9, 10);
+  const auto d = ctl.place({5.0, 9.0}, {0, 0}, 0);
+  EXPECT_EQ(d.action, AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(d.tx, 1);
+  // Best TX full -> next-best with room.
+  const auto d2 = ctl.place({5.0, 9.0}, {0, ctl.per_tx_capacity()}, 0);
+  EXPECT_EQ(d2.action, AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(d2.tx, 0);
+}
+
+TEST(AdmissionTest, QueuesBelowMarginThenRejectsWhenQueueFull) {
+  SlaConfig sla;
+  sla.queue_capacity = 2;
+  const AdmissionController ctl(sla, 0.9, 10);
+  // No TX clears admit_margin_db (3 dB): queue while there is room.
+  const auto q = ctl.place({2.9, 1.0}, {0, 0}, 1);
+  EXPECT_EQ(q.action, AdmissionController::Decision::kQueue);
+  const auto r = ctl.place({2.9, 1.0}, {0, 0}, 2);
+  EXPECT_EQ(r.action, AdmissionController::Decision::kReject);
+}
+
+TEST(AdmissionTest, FullArenaQueuesEvenWithGoodMargins) {
+  const SlaConfig sla;
+  const AdmissionController ctl(sla, 0.9, 10);
+  const std::size_t cap = ctl.per_tx_capacity();
+  const auto d = ctl.place({10.0, 10.0}, {cap, cap}, 0);
+  EXPECT_EQ(d.action, AdmissionController::Decision::kQueue);
+}
+
+}  // namespace
+}  // namespace cyclops::arena

@@ -1,8 +1,12 @@
 // Tests for the multi-TX rig and the session log.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
+#include <vector>
 
+#include "event/scheduler.hpp"
+#include "link/event_session.hpp"
 #include "link/multi_tx.hpp"
 #include "link/session_log.hpp"
 #include "motion/profile.hpp"
@@ -66,6 +70,124 @@ TEST_F(MultiTxFixture, EmptyChainListIsSafe) {
   const MultiTxResult result =
       run_multi_tx_session(none, profile, MultiTxConfig{}, nullptr);
   EXPECT_DOUBLE_EQ(result.served_fraction, 0.0);
+}
+
+TEST_F(MultiTxFixture, OnSlotTapMirrorsSessionAccounting) {
+  const motion::StillMotion profile(
+      (*chains_)[0].proto.nominal_rig_pose, 12.0);
+  const auto occlusion = [](util::SimTimeUs now, std::size_t tx) {
+    const double t = util::us_to_s(now);
+    if (tx == 0) return (t >= 1.0 && t < 5.0) || (t >= 8.0 && t < 11.0);
+    return t >= 5.0 && t < 7.0;
+  };
+  MultiTxConfig config;
+  config.handover.switch_delay_s = 0.1;
+
+  struct Tap {
+    util::SimTimeUs time;
+    int serving;
+    bool usable;
+    double power_dbm;
+  };
+  std::vector<Tap> taps;
+  config.on_slot = [&](util::SimTimeUs t, int serving, bool usable,
+                       double power) {
+    taps.push_back({t, serving, usable, power});
+  };
+  const MultiTxResult result =
+      run_multi_tx_session(*chains_, profile, config, occlusion);
+
+  ASSERT_FALSE(taps.empty());
+  std::size_t usable_taps = 0, mid_switch_taps = 0;
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    if (i > 0) EXPECT_EQ(taps[i].time, taps[i - 1].time + config.step);
+    if (taps[i].usable) {
+      ++usable_taps;
+      EXPECT_GE(taps[i].serving, 0);  // usable implies a serving TX
+    }
+    if (taps[i].serving < 0) ++mid_switch_taps;
+    EXPECT_TRUE(std::isfinite(taps[i].power_dbm));
+  }
+  // The tap sees exactly the slots the result counts.
+  EXPECT_NEAR(static_cast<double>(usable_taps) /
+                  static_cast<double>(taps.size()),
+              result.served_fraction, 1e-12);
+  // Two occlusion-triggered switches at 0.1 s delay each: the tap must
+  // report serving == -1 while they are in flight.
+  EXPECT_GE(result.switches, 2);
+  EXPECT_GT(mid_switch_taps, 0u);
+}
+
+// ---- HandoverProcess: reacquisition exactly at the switch deadline ----
+//
+// The boundary the arena's migration accounting leans on: when the old TX
+// recovers at the *exact* instant the switch-done timer fires, the timer
+// wins (it was scheduled first — FIFO at equal times), the switch
+// commits, and nothing is counted as cancelled.
+
+TEST(HandoverDeadlineTest, ReacquisitionAtExactDeadlineDoesNotCancel) {
+  event::Scheduler sched;
+  link::HandoverConfig config;
+  config.hysteresis_db = 3.0;
+  config.drop_threshold_dbm = -25.0;
+  config.switch_delay_s = 0.1;
+  config.cancel_on_reacquire = true;
+  link::SessionLog log;
+  link::HandoverProcess handover(2, config, sched, &log);
+
+  EXPECT_EQ(handover.on_powers(std::vector<double>{-10.0, -20.0}), 0);
+
+  // t = 1 ms: TX0 drops; a drop-triggered switch starts, deadline 101 ms.
+  sched.run_until(1000);
+  EXPECT_EQ(handover.on_powers(std::vector<double>{-40.0, -20.0}), -1);
+  EXPECT_TRUE(handover.switching());
+
+  // One tick before the deadline the old TX is still down.
+  sched.run_until(100999);
+  EXPECT_EQ(handover.on_powers(std::vector<double>{-40.0, -20.0}), -1);
+  EXPECT_TRUE(handover.switching());
+
+  // run_until(101000) dispatches the switch-done timer (commit), so the
+  // reacquisition powers fed at the same instant arrive too late.
+  sched.run_until(101000);
+  EXPECT_FALSE(handover.switching());
+  EXPECT_EQ(handover.active(), 1);
+  EXPECT_EQ(handover.on_powers(std::vector<double>{-12.0, -11.0}), 1);
+
+  EXPECT_EQ(handover.started(), 1);
+  EXPECT_EQ(handover.cancelled_switches(), 0);
+  EXPECT_EQ(handover.switches(), 1);
+  ASSERT_EQ(log.count(link::SessionEventKind::kHandover), 1);
+  EXPECT_EQ(log.events().front().time, 101000);
+  EXPECT_EQ(log.count(link::SessionEventKind::kReacquisition), 0);
+}
+
+TEST(HandoverDeadlineTest, ReacquisitionOneTickEarlierCancels) {
+  event::Scheduler sched;
+  link::HandoverConfig config;
+  config.hysteresis_db = 3.0;
+  config.drop_threshold_dbm = -25.0;
+  config.switch_delay_s = 0.1;
+  config.cancel_on_reacquire = true;
+  link::SessionLog log;
+  link::HandoverProcess handover(2, config, sched, &log);
+
+  EXPECT_EQ(handover.on_powers(std::vector<double>{-10.0, -20.0}), 0);
+  sched.run_until(1000);
+  EXPECT_EQ(handover.on_powers(std::vector<double>{-40.0, -20.0}), -1);
+
+  // Reacquire one microsecond before the deadline: switch abandoned.
+  sched.run_until(100999);
+  EXPECT_EQ(handover.on_powers(std::vector<double>{-12.0, -20.0}), 0);
+  EXPECT_FALSE(handover.switching());
+  EXPECT_EQ(handover.cancelled_switches(), 1);
+  EXPECT_EQ(handover.switches(), 0);
+
+  sched.run();  // the cancelled timer must never commit
+  EXPECT_EQ(handover.active(), 0);
+  EXPECT_EQ(log.count(link::SessionEventKind::kHandover), 0);
+  ASSERT_EQ(log.count(link::SessionEventKind::kReacquisition), 1);
+  EXPECT_EQ(log.events().front().time, 100999);
 }
 
 // ---- SessionLog ----
