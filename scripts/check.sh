@@ -1,32 +1,43 @@
 #!/usr/bin/env bash
-# The full local gate, six stages back to back:
-#   1. release      — configure, build, and run the whole suite
-#                     (fast + ctx + slow labels).
-#   2. perf smoke   — fig16 on a 50-trace subset; fails if the event
-#                     engine's speedup over the legacy fixed-step loop
-#                     drops below the committed floor (ISSUE-6 exit
-#                     criterion: the DES engine must beat the loop).
-#   3. stream smoke — bench/stream_pipeline on a 50-trace subset; the
-#                     binary hard-gates zero torn frames / zero arena
-#                     copies / >= 1 Gbps through flaps, and this stage
-#                     additionally holds the adaptive policy's freeze
-#                     rate under a fixed ceiling.
-#   4. arena smoke  — bench/arena_capacity on a 6-second subset; the
-#                     binary hard-gates zero duty violations, >= 1
-#                     TX-failure migration, and the uniform 4-TX SLA
-#                     floor, and this stage re-checks the same three
-#                     out of the smoke JSON.
-#   5. tsan-fast    — ThreadSanitizer over the quick gate plus the
-#                     context/concurrency isolation tests, the phy
-#                     layer, the streaming plane, and the multi-TX
-#                     arena (fast|ctx|phy|stream|arena) — so the
-#                     engine-equivalence and ABR bit-exactness oracles
-#                     and the arena determinism tests run under both
-#                     release AND tsan.
-#   6. obs-off-fast — the CYCLOPS_OBS=OFF build of the same quick gate,
-#                     proving the telemetry compile-out keeps everything
-#                     green.
-# Any failure stops the script (set -e); a clean exit means all six
+# The full local gate, eight stages back to back:
+#   1. release       — configure, build, and run the whole suite
+#                      (fast + ctx + slow + session + fleet labels).
+#   2. perf smoke    — fig16 on a 50-trace subset; fails if the event
+#                      engine's speedup over the legacy fixed-step loop
+#                      drops below the committed floor (ISSUE-6 exit
+#                      criterion: the DES engine must beat the loop).
+#   3. parallel scaling — the same fig16 smoke with the driver pool at
+#                      $(nproc); fails if the parallel fan-out speedup
+#                      over the serial event walk drops below 2x.  Only
+#                      meaningful with >= 4 cores; skipped (visibly) on
+#                      smaller boxes.
+#   4. stream smoke  — bench/stream_pipeline on a 50-trace subset; the
+#                      binary hard-gates zero torn frames / zero arena
+#                      copies / >= 1 Gbps through flaps, and this stage
+#                      additionally holds the adaptive policy's freeze
+#                      rate under a fixed ceiling.
+#   5. arena smoke   — bench/arena_capacity on a 6-second subset; the
+#                      binary hard-gates zero duty violations, >= 1
+#                      TX-failure migration, and the uniform 4-TX SLA
+#                      floor, and this stage re-checks the same three
+#                      out of the smoke JSON.
+#   6. fleet smoke   — bench/fleet_sim on 1000 sessions; the binary
+#                      hard-gates rollup-vs-per-session-sum
+#                      reconciliation and zero empty sessions, and this
+#                      stage additionally holds a sessions/sec floor.
+#   7. tsan-fast     — ThreadSanitizer over the quick gate plus the
+#                      context/concurrency isolation tests, the phy
+#                      layer, the streaming plane, the multi-TX arena,
+#                      and the session layer (fast|ctx|phy|stream|arena|
+#                      session), then the fleet determinism suite
+#                      (tsan-fleet) — so the engine-equivalence and ABR
+#                      bit-exactness oracles, the arena determinism
+#                      tests, and the fleet==alone byte-equality run
+#                      under both release AND tsan.
+#   8. obs-off-fast  — the CYCLOPS_OBS=OFF build of the same quick gate,
+#                      proving the telemetry compile-out keeps everything
+#                      green.
+# Any failure stops the script (set -e); a clean exit means all eight
 # gates passed.  Run from the repository root:  ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,12 +49,12 @@ cd "$(dirname "$0")/.."
 # best-of-2 precisely so this single-shot gate is stable.
 PERF_SPEEDUP_FLOOR="1.0"
 
-echo "== [1/6] release: configure + build + full test suite =="
+echo "== [1/8] release: configure + build + full test suite =="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== [2/6] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
+echo "== [2/8] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 (cd "${smoke_dir}" && "${OLDPWD}/build/bench/fig16_trace_cdf" 50 > fig16_smoke.log)
@@ -56,7 +67,27 @@ awk -v s="${speedup}" -v floor="${PERF_SPEEDUP_FLOOR}" \
   exit 1
 }
 
-echo "== [3/6] stream smoke: 50-trace subset, torn frames + freeze-rate gates =="
+# Floor for the per-trace fan-out's parallel speedup over the serial
+# event walk.  Static chunking over independent traces should scale
+# nearly linearly; 2x at >= 4 cores leaves generous headroom.
+PARALLEL_SPEEDUP_FLOOR="2.0"
+if [ "$(nproc)" -ge 4 ]; then
+  echo "== [3/8] parallel scaling: fig16 smoke on $(nproc) threads, speedup floor ${PARALLEL_SPEEDUP_FLOOR} =="
+  (cd "${smoke_dir}" && CYCLOPS_THREADS="$(nproc)" \
+    "${OLDPWD}/build/bench/fig16_trace_cdf" 50 > fig16_parallel.log)
+  par="$(sed -n 's/.*"parallel_speedup": \([0-9.eE+-]*\).*/\1/p' \
+    "${smoke_dir}/BENCH_fig16_smoke.json")"
+  echo "fig16 parallel speedup: ${par} on $(nproc) threads (floor ${PARALLEL_SPEEDUP_FLOOR})"
+  awk -v s="${par}" -v floor="${PARALLEL_SPEEDUP_FLOOR}" \
+    'BEGIN { exit !(s + 0 >= floor + 0) }' || {
+    echo "FAIL: parallel speedup ${par} below floor ${PARALLEL_SPEEDUP_FLOOR}" >&2
+    exit 1
+  }
+else
+  echo "== [3/8] parallel scaling: SKIPPED ($(nproc) core(s) < 4 — the 2x floor needs >= 4) =="
+fi
+
+echo "== [4/8] stream smoke: 50-trace subset, torn frames + freeze-rate gates =="
 # The adaptive controller's freeze rate on the trace library must stay
 # under this ceiling (freezes per minute; the full run sits around 6 —
 # see BENCH_stream.json).  The binary itself additionally hard-fails on
@@ -77,16 +108,19 @@ awk -v f="${freeze}" -v c="${STREAM_FREEZE_CEILING}"   'BEGIN { exit !(f + 0 <= 
   exit 1
 }
 
-echo "== [4/6] arena smoke: 6-second subset, duty + migration + SLA gates =="
+echo "== [5/8] arena smoke: 6-second subset, duty + migration + SLA gates =="
 # Capacity floor for the predictive policy at 4 TXs on the 6 s smoke run
 # (fraction of the 16 offered headsets meeting their SLA; the full 30 s
 # run sits higher — see BENCH_arena.json).  The binary exits non-zero on
 # any gate breach; re-reading the JSON here keeps the gate explicit.
 ARENA_SLA_FLOOR="0.75"
 (cd "${smoke_dir}" && "${OLDPWD}/build/bench/arena_capacity" 6 > arena_smoke.log)
-duty="$(sed -n 's/.*"duty_violations": \([0-9.eE+-]*\).*//p'   "${smoke_dir}/BENCH_arena_smoke.json")"
-failmig="$(sed -n 's/.*"failure_migrations": \([0-9.eE+-]*\).*//p'   "${smoke_dir}/BENCH_arena_smoke.json")"
-sla="$(sed -n 's/.*"uniform_tx4_sla_fraction": \([0-9.eE+-]*\).*//p'   "${smoke_dir}/BENCH_arena_smoke.json")"
+duty="$(sed -n 's/.*"duty_violations": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_arena_smoke.json")"
+failmig="$(sed -n 's/.*"failure_migrations": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_arena_smoke.json")"
+sla="$(sed -n 's/.*"uniform_tx4_sla_fraction": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_arena_smoke.json")"
 echo "arena smoke: duty_violations=${duty}, failure_migrations=${failmig}, uniform_tx4_sla=${sla} (floor ${ARENA_SLA_FLOOR})"
 awk -v d="${duty}" 'BEGIN { exit !(d + 0 == 0) }' || {
   echo "FAIL: arena smoke reported duty-budget violations" >&2
@@ -102,12 +136,38 @@ awk -v s="${sla}" -v floor="${ARENA_SLA_FLOOR}" \
   exit 1
 }
 
-echo "== [5/6] tsan-fast: ThreadSanitizer, fast + ctx + phy + stream + arena labels =="
+echo "== [6/8] fleet smoke: 1000 mixed sessions, reconciliation + throughput gates =="
+# Sessions/sec floor for the 1k-session smoke fleet.  The reference
+# 1-core box sustains ~1500 sessions/s on the catalog mix
+# (BENCH_fleet.json); the floor catches an order-of-magnitude
+# per-session lifecycle regression (context setup, scheduler reuse)
+# while staying far from machine noise.  The binary itself hard-fails
+# if the rollup does not reconcile exactly against the per-session sums
+# or any session dispatched zero events.
+FLEET_SESSIONS_PER_SEC_FLOOR="300"
+(cd "${smoke_dir}" && "${OLDPWD}/build/bench/fleet_sim" 1000 > fleet_smoke.log)
+sps="$(sed -n 's/.*"sessions_per_sec": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_fleet_smoke.json")"
+reconciled="$(sed -n 's/.*"reconciled": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_fleet_smoke.json")"
+echo "fleet smoke: ${sps} sessions/s (floor ${FLEET_SESSIONS_PER_SEC_FLOOR}), reconciled=${reconciled}"
+awk -v r="${reconciled}" 'BEGIN { exit !(r + 0 == 1) }' || {
+  echo "FAIL: fleet rollup did not reconcile against per-session sums" >&2
+  exit 1
+}
+awk -v s="${sps}" -v floor="${FLEET_SESSIONS_PER_SEC_FLOOR}" \
+  'BEGIN { exit !(s + 0 >= floor + 0) }' || {
+  echo "FAIL: fleet throughput ${sps} sessions/s below floor ${FLEET_SESSIONS_PER_SEC_FLOOR}" >&2
+  exit 1
+}
+
+echo "== [7/8] tsan: quick gate (fast|ctx|phy|stream|arena|session) + fleet determinism =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan-fast
+ctest --preset tsan-fleet
 
-echo "== [6/6] obs-off-fast: telemetry compiled out, fast + ctx + phy + stream + arena labels =="
+echo "== [8/8] obs-off-fast: telemetry compiled out, quick-gate labels =="
 cmake --preset obs-off
 cmake --build --preset obs-off -j "$(nproc)"
 ctest --preset obs-off-fast

@@ -9,6 +9,7 @@
 
 #include "event/scheduler.hpp"
 #include "link/event_session.hpp"
+#include "session/lifecycle.hpp"
 
 namespace cyclops::arena {
 
@@ -504,14 +505,13 @@ ArenaResult run_arena_session_impl(const ArenaTopology& topology,
                                    obs::Registry* registry,
                                    util::SimClock* clock) {
   ArenaResult result;
-  auto sched = clock != nullptr
-                   ? std::make_unique<event::Scheduler>(*clock)
-                   : std::make_unique<event::Scheduler>();
-  ArenaSlotProcess arena(topology, options, *sched, registry, result);
+  session::ScopedScheduler lease(clock);
+  event::Scheduler& sched = lease.get();
+  ArenaSlotProcess arena(topology, options, sched, registry, result);
   arena.start();
-  sched->run();
+  sched.run();
   arena.finish();
-  result.events = sched->dispatched();
+  result.events = sched.dispatched();
   return result;
 }
 

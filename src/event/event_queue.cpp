@@ -44,6 +44,31 @@ void EventQueue::free_slot(std::uint32_t slot) noexcept {
   free_head_ = slot;
 }
 
+void EventQueue::clear() noexcept {
+  active_.clear();
+  for (std::vector<Entry>& bucket : buckets_) bucket.clear();
+  overflow_.clear();
+  cur_epoch_ = 0;
+  in_window_ = 0;
+  overflow_min_epoch_ = kNoEpoch;
+  next_seq_ = 0;
+  live_ = 0;
+  // Rebuild the free list over the whole slab in ascending slot order (so
+  // a cleared queue hands slots out 0, 1, 2, ... like a fresh one).  Slots
+  // that held a live entry bump their generation exactly as free_slot()
+  // would, killing every outstanding id.
+  free_head_ = kNoSlot;
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    Slot& sl = slots_[i];
+    if (sl.where != kFree) {
+      ++sl.generation;
+      sl.where = kFree;
+    }
+    sl.pos = free_head_;
+    free_head_ = static_cast<std::uint32_t>(i);
+  }
+}
+
 std::uint32_t EventQueue::pending_slot(Id id) const noexcept {
   if (id == 0) return kNoSlot;
   const std::uint32_t s = slot_of(id);

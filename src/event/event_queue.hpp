@@ -93,6 +93,15 @@ class EventQueue {
   /// Live (non-cancelled) entries.
   std::size_t size() const noexcept { return live_; }
 
+  /// Discards every pending event but keeps the slab (and every
+  /// container's capacity): generations of live slots bump so all
+  /// outstanding ids go stale, the free list rebuilds over the whole
+  /// pool, and sequence/window state returns to the just-constructed
+  /// values.  Dispatch order after clear() is indistinguishable from a
+  /// fresh queue — this is what lets one queue run thousands of sessions
+  /// with zero steady-state allocation (session::Workspace).
+  void clear() noexcept;
+
   Discipline discipline() const noexcept { return discipline_; }
 
   /// Pool slots ever allocated — bounded by peak concurrency, not by the

@@ -55,6 +55,20 @@ bool Scheduler::reschedule(Timer& timer, const Event& ev) {
   return false;
 }
 
+void Scheduler::reset() noexcept {
+  own_clock_.reset();
+  reset(own_clock_);
+}
+
+void Scheduler::reset(util::SimClock& clock) noexcept {
+  queue_.clear();
+  processes_.clear();
+  hooks_.clear();
+  dispatched_ = 0;
+  scheduled_ = 0;
+  clock_ = &clock;
+}
+
 void Scheduler::dispatch(const Event& ev) {
   clock_->advance_to(ev.time);
   ++dispatched_;

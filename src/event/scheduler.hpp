@@ -114,11 +114,26 @@ class Scheduler {
     return n;
   }
 
+  /// Returns the scheduler to its just-constructed state — pending
+  /// events discarded (their Timer ids go stale), processes and hooks
+  /// unregistered, dispatch/schedule counters zeroed — while the event
+  /// slab keeps its capacity.  The self-clocked overload rewinds the
+  /// internal clock to 0; the other rebinds the timeline to `clock`
+  /// (NOT reset — the caller owns that clock's lifecycle).  This is the
+  /// reuse primitive behind session::Workspace: one scheduler runs
+  /// thousands of fleet sessions with no per-session heap churn beyond
+  /// the slab itself.
+  void reset() noexcept;
+  void reset(util::SimClock& clock) noexcept;
+
   util::SimTimeUs now() const noexcept { return clock_->now(); }
   bool empty() const noexcept { return queue_.empty(); }
   std::uint64_t dispatched() const noexcept { return dispatched_; }
   std::uint64_t scheduled() const noexcept { return scheduled_; }
   Discipline discipline() const noexcept { return queue_.discipline(); }
+  /// Slab slots ever allocated by the queue — stable across reset(),
+  /// which is how the workspace tests pin "no per-session slab growth".
+  std::size_t pool_slots() const noexcept { return queue_.pool_slots(); }
 
   /// Label of a registered process (for trace hooks).
   const char* process_name(ProcessId id) const noexcept;

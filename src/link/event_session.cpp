@@ -8,6 +8,7 @@
 
 #include "core/exhaustive_aligner.hpp"
 #include "obs/config.hpp"
+#include "session/lifecycle.hpp"
 
 namespace cyclops::link {
 namespace {
@@ -55,14 +56,11 @@ RunResult run_link_session_events_impl(sim::Prototype& proto,
   }
   proto.tracker.reset_schedule();  // simulation time restarts at 0
 
-  std::optional<event::Scheduler> sched_storage;
-  if (ctx != nullptr) {
-    ctx->clock().reset();  // the context clock becomes this session's t=0
-    sched_storage.emplace(ctx->clock());
-  } else {
-    sched_storage.emplace();
-  }
-  event::Scheduler& sched = *sched_storage;
+  // Unified lifecycle: with a context, its clock (reset) is the session
+  // timeline; either way the scheduler comes from the session layer so a
+  // bound fleet Workspace can reuse one event slab across sessions.
+  session::ScopedScheduler lease(session::bind_session_clock(ctx));
+  event::Scheduler& sched = lease.get();
   event::EventCounter counter;
   sched.add_hook(&counter);
 

@@ -8,6 +8,7 @@
 #include "link/event_session.hpp"
 #include "obs/config.hpp"
 #include "phy/fso_channel.hpp"
+#include "session/lifecycle.hpp"
 
 namespace cyclops::link {
 namespace {
@@ -191,14 +192,8 @@ HeteroResult run_hetero_session_impl(sim::Prototype& proto,
   }
   proto.tracker.reset_schedule();
 
-  std::optional<event::Scheduler> sched_storage;
-  if (ctx != nullptr) {
-    ctx->clock().reset();
-    sched_storage.emplace(ctx->clock());
-  } else {
-    sched_storage.emplace();
-  }
-  event::Scheduler& sched = *sched_storage;
+  session::ScopedScheduler lease(session::bind_session_clock(ctx));
+  event::Scheduler& sched = lease.get();
   // Registered first: an equal-time switch-done timer commits before the
   // slot that samples it (same tie discipline as run_multi_tx_session).
   HandoverProcess handover(2, config.handover, sched, log, registry);

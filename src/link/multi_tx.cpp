@@ -7,6 +7,7 @@
 #include "event/scheduler.hpp"
 #include "link/event_session.hpp"
 #include "phy/fso_channel.hpp"
+#include "session/lifecycle.hpp"
 
 namespace cyclops::link {
 
@@ -20,6 +21,19 @@ TxChain make_tx_chain(std::uint64_t seed, const geom::Vec3& tx_position,
   core::CalibrationResult calibration =
       core::calibrate_prototype(proto, core::CalibrationConfig{}, rng, ctx);
   return TxChain(std::move(proto), std::move(calibration), ctx);
+}
+
+TxChain TxChain::from_truth(sim::Prototype p, const runtime::Context& ctx) {
+  // Built before `p` moves: a CalibrationResult whose "learned" models are
+  // the ground-truth ones, so make_pointing_solver yields the truth solver.
+  core::CalibrationResult truth{
+      core::KSpaceFitReport{
+          core::GmaModel(p.tx_galvo_truth).transformed(p.k_from_tx_gma)},
+      core::KSpaceFitReport{
+          core::GmaModel(p.rx_galvo_truth).transformed(p.k_from_rx_gma)},
+      core::MappingFitReport{p.true_map_tx, p.true_map_rx},
+      {}};
+  return TxChain(std::move(p), std::move(truth), ctx);
 }
 
 namespace {
@@ -178,14 +192,8 @@ MultiTxResult run_multi_tx_session_impl(
     channels.back().set_voltages(chain.voltages);
   }
 
-  std::optional<event::Scheduler> sched_storage;
-  if (ctx != nullptr) {
-    ctx->clock().reset();  // the context clock becomes this session's t=0
-    sched_storage.emplace(ctx->clock());
-  } else {
-    sched_storage.emplace();
-  }
-  event::Scheduler& sched = *sched_storage;
+  session::ScopedScheduler lease(session::bind_session_clock(ctx));
+  event::Scheduler& sched = lease.get();
   // Registered first so an equal-time switch-done timer (scheduled before
   // any same-time slot event was) commits the new TX before that slot
   // samples it — matching the legacy `now < switch_done_` window.

@@ -31,6 +31,13 @@ struct TxChain {
       : proto(std::move(p)),
         calibration(std::move(c)),
         solver(calibration.make_pointing_solver({}, ctx)) {}
+
+  /// Chain with a truth "calibration" — ground-truth galvo models and
+  /// mappings lifted straight from the prototype, no sample collection or
+  /// LM fits.  The LP-scale path (session catalog, fleet benches): a chain
+  /// in microseconds instead of the full calibrate_prototype pipeline.
+  static TxChain from_truth(sim::Prototype p, const runtime::Context& ctx =
+                                                  runtime::Context::default_ctx());
 };
 
 struct MultiTxConfig {

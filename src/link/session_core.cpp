@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/exhaustive_aligner.hpp"
+#include "session/lifecycle.hpp"
 
 namespace cyclops::link {
 namespace detail {
@@ -276,20 +277,15 @@ RunResult run_channel_session_impl(phy::Channel& channel,
                                    const motion::MotionProfile& profile,
                                    const ChannelSessionOptions& options,
                                    obs::Registry* registry,
-                                   const runtime::Context* ctx) {
+                                   const runtime::Context* ctx,
+                                   ChannelSessionStats* stats) {
   if constexpr (!obs::kEnabled) registry = nullptr;
   RunResult result;
   const util::SimTimeUs duration = util::us_from_s(profile.duration_s());
   if (options.force_up_at_start) channel.force_up();
 
-  std::optional<event::Scheduler> sched_storage;
-  if (ctx != nullptr) {
-    ctx->clock().reset();  // the context clock becomes this session's t=0
-    sched_storage.emplace(ctx->clock());
-  } else {
-    sched_storage.emplace();
-  }
-  event::Scheduler& sched = *sched_storage;
+  session::ScopedScheduler lease(session::bind_session_clock(ctx));
+  event::Scheduler& sched = lease.get();
 
   ChannelSlotProcess slots(channel, profile, options, duration, result);
   const event::ProcessId slots_id = sched.add_process(&slots);
@@ -304,6 +300,10 @@ RunResult run_channel_session_impl(phy::Channel& channel,
   sched.run();
   slots.finalize();
 
+  if (stats != nullptr) {
+    stats->events = sched.dispatched();
+    stats->slots = static_cast<std::uint64_t>(slots.total_slots());
+  }
   if (registry != nullptr) {
     const obs::Labels labels{{"channel", channel.info().name}};
     registry->counter("channel_session_slots_total", labels)
@@ -319,17 +319,19 @@ RunResult run_channel_session_impl(phy::Channel& channel,
 RunResult run_channel_session(phy::Channel& channel,
                               const motion::MotionProfile& profile,
                               const ChannelSessionOptions& options,
-                              obs::Registry* registry) {
+                              obs::Registry* registry,
+                              ChannelSessionStats* stats) {
   return run_channel_session_impl(channel, profile, options, registry,
-                                  nullptr);
+                                  nullptr, stats);
 }
 
 RunResult run_channel_session(phy::Channel& channel,
                               const motion::MotionProfile& profile,
                               const runtime::Context& ctx,
-                              const ChannelSessionOptions& options) {
+                              const ChannelSessionOptions& options,
+                              ChannelSessionStats* stats) {
   return run_channel_session_impl(channel, profile, options, &ctx.registry(),
-                                  &ctx);
+                                  &ctx, stats);
 }
 
 }  // namespace cyclops::link

@@ -59,6 +59,13 @@ struct ChannelSessionOptions {
   std::function<void(util::SimTimeUs, bool, double)> on_slot;
 };
 
+/// Scheduler-level accounting for a channel session; filled regardless of
+/// CYCLOPS_OBS, unlike the registry counters (mirrors EventSessionStats).
+struct ChannelSessionStats {
+  std::uint64_t events = 0;  ///< Dispatched by the scheduler.
+  std::uint64_t slots = 0;   ///< Channel slots sampled.
+};
+
 /// Runs `channel` over `profile` on the event scheduler.  The RunResult's
 /// windows carry the channel metric in the power fields; throughput is
 /// rate-aware (see RunResult::avg_rate_gbps).  `registry` (optional)
@@ -67,14 +74,16 @@ struct ChannelSessionOptions {
 RunResult run_channel_session(phy::Channel& channel,
                               const motion::MotionProfile& profile,
                               const ChannelSessionOptions& options = {},
-                              obs::Registry* registry = nullptr);
+                              obs::Registry* registry = nullptr,
+                              ChannelSessionStats* stats = nullptr);
 
 /// Context overload: metrics land in ctx.registry() and the scheduler
 /// rides ctx.clock() (reset to 0 — session isolation for the baseline).
 RunResult run_channel_session(phy::Channel& channel,
                               const motion::MotionProfile& profile,
                               const runtime::Context& ctx,
-                              const ChannelSessionOptions& options = {});
+                              const ChannelSessionOptions& options = {},
+                              ChannelSessionStats* stats = nullptr);
 
 namespace detail {
 

@@ -11,21 +11,29 @@ Context::Context(util::ThreadPool& pool, obs::Registry& registry,
       seed_(seed),
       wall_origin_(std::chrono::steady_clock::now()) {}
 
-Context::Context(std::unique_ptr<util::ThreadPool> pool,
-                 std::unique_ptr<obs::Registry> registry, std::uint64_t seed)
-    : owned_pool_(std::move(pool)),
-      owned_registry_(std::move(registry)),
-      pool_(owned_pool_.get()),
-      registry_(owned_registry_.get()),
+Context::Context(const Options& options)
+    : pool_(nullptr),
+      registry_(nullptr),
+      lazy_(true),
+      lazy_threads_(options.threads),
       clock_(std::make_unique<util::SimClock>()),
-      base_(seed),
-      seed_(seed),
+      base_(options.seed),
+      seed_(options.seed),
       wall_origin_(std::chrono::steady_clock::now()) {}
 
-Context Context::isolated(const Options& options) {
-  return Context(std::make_unique<util::ThreadPool>(options.threads),
-                 std::make_unique<obs::Registry>(), options.seed);
+util::ThreadPool& Context::materialize_pool() const noexcept {
+  owned_pool_ = std::make_unique<util::ThreadPool>(lazy_threads_);
+  pool_ = owned_pool_.get();
+  return *pool_;
 }
+
+obs::Registry& Context::materialize_registry() const noexcept {
+  owned_registry_ = std::make_unique<obs::Registry>();
+  registry_ = owned_registry_.get();
+  return *registry_;
+}
+
+Context Context::isolated(const Options& options) { return Context(options); }
 
 Context& Context::default_ctx() {
   static Context ctx(util::ThreadPool::global(), obs::Registry::global());

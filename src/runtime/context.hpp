@@ -65,10 +65,20 @@ class Context {
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
-  util::ThreadPool& pool() const noexcept { return *pool_; }
-  obs::Registry& registry() const noexcept { return *registry_; }
+  /// Isolated contexts materialize their owned pool/registry lazily on
+  /// first access (LP-scale slimming: a fleet session that never fans out
+  /// or records a metric allocates neither).  First access must happen on
+  /// one thread — in practice the session thread, before any fan-out —
+  /// which every current call site satisfies; after that the reference is
+  /// stable (unique_ptr target, so Context moves keep it valid too).
+  util::ThreadPool& pool() const noexcept {
+    return pool_ != nullptr ? *pool_ : materialize_pool();
+  }
+  obs::Registry& registry() const noexcept {
+    return registry_ != nullptr ? *registry_ : materialize_registry();
+  }
   /// Span factory bound to this context's registry (cheap value type).
-  obs::Tracer tracer() const noexcept { return obs::Tracer(registry_); }
+  obs::Tracer tracer() const noexcept { return obs::Tracer(&registry()); }
 
   /// The session's simulation clock.  Session drivers run their scheduler
   /// on it (a context represents one session timeline; drivers reset it
@@ -92,20 +102,32 @@ class Context {
   /// Rng& through a pipeline, e.g. calibration).
   util::Rng base_rng() const noexcept { return base_; }
 
-  bool owns_pool() const noexcept { return owned_pool_ != nullptr; }
-  bool owns_registry() const noexcept { return owned_registry_ != nullptr; }
+  /// True for isolated contexts even before their lazily-created pool /
+  /// registry materializes: ownership is a property of the context's
+  /// mode, not of whether the resource has been touched yet.
+  bool owns_pool() const noexcept { return lazy_ || owned_pool_ != nullptr; }
+  bool owns_registry() const noexcept {
+    return lazy_ || owned_registry_ != nullptr;
+  }
 
  private:
-  Context(std::unique_ptr<util::ThreadPool> pool,
-          std::unique_ptr<obs::Registry> registry, std::uint64_t seed);
+  /// Lazy (isolated) mode: resources materialize on first access.
+  explicit Context(const Options& options);
+
+  util::ThreadPool& materialize_pool() const noexcept;
+  obs::Registry& materialize_registry() const noexcept;
 
   // Owned resources first so borrowed-or-owned pointers below always
   // outlive nothing they point at; unique_ptrs keep addresses stable
-  // across Context moves (handed-out references stay valid).
-  std::unique_ptr<util::ThreadPool> owned_pool_;
-  std::unique_ptr<obs::Registry> owned_registry_;
-  util::ThreadPool* pool_;
-  obs::Registry* registry_;
+  // across Context moves (handed-out references stay valid).  The owned
+  // slots are mutable because isolated contexts fill them lazily behind
+  // the const accessors.
+  mutable std::unique_ptr<util::ThreadPool> owned_pool_;
+  mutable std::unique_ptr<obs::Registry> owned_registry_;
+  mutable util::ThreadPool* pool_;
+  mutable obs::Registry* registry_;
+  bool lazy_ = false;              ///< isolated mode (owns everything)
+  std::size_t lazy_threads_ = 1;   ///< owned-pool width when it appears
   std::unique_ptr<util::SimClock> clock_;
   util::Rng base_;
   std::uint64_t seed_;

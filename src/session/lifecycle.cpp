@@ -1,0 +1,48 @@
+#include "session/lifecycle.hpp"
+
+namespace cyclops::session {
+namespace {
+
+thread_local Workspace* t_workspace = nullptr;
+
+}  // namespace
+
+WorkspaceScope::WorkspaceScope(Workspace& workspace) noexcept
+    : prev_(t_workspace) {
+  t_workspace = &workspace;
+}
+
+WorkspaceScope::~WorkspaceScope() { t_workspace = prev_; }
+
+Workspace* current_workspace() noexcept { return t_workspace; }
+
+ScopedScheduler::ScopedScheduler(util::SimClock* clock) {
+  Workspace* ws = current_workspace();
+  if (ws != nullptr && !ws->leased_) {
+    // Lease the per-driver scheduler: reset() rebinds the timeline and
+    // clears processes/hooks/counters while the event slab keeps its
+    // capacity — the "no per-session heap churn" half of the LP budget.
+    if (clock != nullptr) {
+      ws->sched_.reset(*clock);
+    } else {
+      ws->sched_.reset();
+    }
+    ws->leased_ = true;
+    ++ws->leases_;
+    leased_from_ = ws;
+    sched_ = &ws->sched_;
+    return;
+  }
+  if (clock != nullptr) {
+    owned_.emplace(*clock);
+  } else {
+    owned_.emplace();
+  }
+  sched_ = &*owned_;
+}
+
+ScopedScheduler::~ScopedScheduler() {
+  if (leased_from_ != nullptr) leased_from_->leased_ = false;
+}
+
+}  // namespace cyclops::session

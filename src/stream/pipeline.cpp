@@ -49,7 +49,7 @@ StreamPipeline::StreamPipeline(PipelineConfig config,
           jb->push(frame);
         });
   }
-  pid_ = scheduler_.add_process(this);
+  pid_ = sched_lease_.get().add_process(this);
 }
 
 void StreamPipeline::render_frame(event::Scheduler& sched) {
@@ -127,13 +127,13 @@ PipelineResult StreamPipeline::run(const CapacityFn& capacity) {
   capacity_ = &capacity;
   // FIFO tie-break puts same-time events in schedule order: render, then
   // transmit the slot, then display.
-  scheduler_.schedule({0, kFrameEvent, pid_, 0, 0.0});
-  scheduler_.schedule({0, kSlotEvent, pid_, 0, 0.0});
+  sched_lease_.get().schedule({0, kFrameEvent, pid_, 0, 0.0});
+  sched_lease_.get().schedule({0, kSlotEvent, pid_, 0, 0.0});
   for (std::size_t i = 0; i < jitters_.size(); ++i) {
-    scheduler_.schedule({frame_period_, kVsyncEvent, pid_,
+    sched_lease_.get().schedule({frame_period_, kVsyncEvent, pid_,
                          static_cast<std::int64_t>(i), 0.0});
   }
-  const std::uint64_t dispatched = scheduler_.run_single(*this);
+  const std::uint64_t dispatched = sched_lease_.get().run_single(*this);
   for (auto& jb : jitters_) jb->finalize(next_frame_id_ - 1);
   capacity_ = nullptr;
 

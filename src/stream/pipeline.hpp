@@ -30,6 +30,7 @@
 #include "event/scheduler.hpp"
 #include "phy/channel.hpp"
 #include "runtime/context.hpp"
+#include "session/lifecycle.hpp"
 #include "stream/frame_arena.hpp"
 #include "stream/jitter_buffer.hpp"
 #include "stream/rate_adapter.hpp"
@@ -125,7 +126,10 @@ class StreamPipeline final : public event::Process {
   SequencedTransport transport_;
   std::vector<std::unique_ptr<FreezeLedger>> ledgers_;
   std::vector<std::unique_ptr<JitterBuffer>> jitters_;
-  event::Scheduler scheduler_;
+  /// Self-clocked scheduler lease: borrows the bound fleet Workspace's
+  /// scheduler when one is free, else owns a private one — either way the
+  /// timeline starts at 0, exactly the pre-lease `event::Scheduler` member.
+  session::ScopedScheduler sched_lease_{nullptr};
   event::ProcessId pid_ = event::kNoProcess;
   const CapacityFn* capacity_ = nullptr;
   std::int64_t next_frame_id_ = 0;

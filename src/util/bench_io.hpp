@@ -32,7 +32,17 @@ class Timer {
 /// shape changes:
 ///   1 — flat {"name", <fields>} object (PR 1/2)
 ///   2 — adds schema_version / threads / git_rev metadata (PR 3)
-inline constexpr int kBenchSchemaVersion = 2;
+///   3 — adds host_nproc / cpu_model host metadata (PR 9), so a perf
+///       delta across committed JSONs is attributable to the hardware
+///       that produced it
+inline constexpr int kBenchSchemaVersion = 3;
+
+/// Hardware concurrency of this host (0 if unknown).
+std::size_t host_nproc();
+
+/// The /proc/cpuinfo "model name" of core 0, or "unknown" off-Linux /
+/// when unreadable.  Stamped into BENCH jsons as "cpu_model".
+std::string cpu_model();
 
 /// Validates a `git rev-parse --short HEAD`-shaped revision string: a
 /// 4-40 character hex token passes through unchanged; anything else

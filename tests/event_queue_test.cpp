@@ -208,6 +208,39 @@ TEST(EventQueuePool, GenerationSurvivesManyRecycles) {
   for (const Id id : history) EXPECT_FALSE(q.pending(id));
 }
 
+TEST(EventQueuePool, ClearKeepsSlabAndRestartsLikeFresh) {
+  for (const Discipline disc :
+       {Discipline::kBinaryHeap, Discipline::kCalendar}) {
+    EventQueue q(disc);
+    std::vector<Id> ids;
+    for (int i = 0; i < 48; ++i) ids.push_back(q.push(make_event(i * 3, i)));
+    const std::size_t slab = q.pool_slots();
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.pool_slots(), slab) << "clear() must keep the slab";
+    // Every pre-clear id is dead: no pending hits, no cancels of the
+    // slots' new occupants.
+    for (const Id id : ids) EXPECT_FALSE(q.pending(id));
+    for (const Id id : ids) EXPECT_FALSE(q.cancel(id));
+    // The reused queue is observationally a fresh one: same (time, FIFO)
+    // pop order for the same pushes, including equal-time ties.
+    EventQueue fresh(disc);
+    for (int i = 0; i < 48; ++i) {
+      const util::SimTimeUs t = 1000 + (i % 4) * 10;
+      q.push(make_event(t, i));
+      fresh.push(make_event(t, i));
+    }
+    Event a, b;
+    while (fresh.pop_next(b)) {
+      ASSERT_TRUE(q.pop_next(a));
+      EXPECT_EQ(a.time, b.time);
+      EXPECT_EQ(a.i64, b.i64);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
 TEST(SchedulerReschedule, MutatesTimerInPlaceOrSchedulesFresh) {
   event::Scheduler sched;
   event::Timer timer;

@@ -1,0 +1,190 @@
+// The generic session layer (src/session): scheduler reset/reuse
+// semantics, the thread-local Workspace lease discipline, lazy isolated
+// contexts, and run_session's uniform accounting.  The fleet-scale
+// determinism contract (fleet == alone, byte for byte, at any driver
+// width) lives in tests/fleet_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "event/scheduler.hpp"
+#include "obs/config.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "runtime/context.hpp"
+#include "session/catalog.hpp"
+#include "session/fleet.hpp"
+#include "session/lifecycle.hpp"
+
+namespace cyclops {
+namespace {
+
+/// Schedules a follow-up event `count` times, recording dispatch times.
+class ChainProcess final : public event::Process {
+ public:
+  explicit ChainProcess(int count) : remaining_(count) {}
+
+  void handle(event::Scheduler& sched, const event::Event& ev) override {
+    times.push_back(ev.time);
+    if (--remaining_ > 0) {
+      event::Event next = ev;
+      next.time = ev.time + 7;
+      sched.schedule(next);
+    }
+  }
+  const char* name() const noexcept override { return "chain"; }
+
+  std::vector<util::SimTimeUs> times;
+
+ private:
+  int remaining_;
+};
+
+void drive_chain(event::Scheduler& sched, int count,
+                 std::vector<util::SimTimeUs>* out) {
+  ChainProcess chain(count);
+  const event::ProcessId pid = sched.add_process(&chain);
+  event::Event first;
+  first.time = 3;
+  first.type = 1;
+  first.target = pid;
+  sched.schedule(first);
+  sched.run();
+  if (out != nullptr) *out = chain.times;
+}
+
+TEST(SchedulerResetTest, ResetIsObservationallyFresh) {
+  event::Scheduler sched;
+  std::vector<util::SimTimeUs> first_run;
+  drive_chain(sched, 32, &first_run);
+  ASSERT_EQ(first_run.size(), 32u);
+  EXPECT_EQ(sched.dispatched(), 32u);
+  const std::size_t slab = sched.pool_slots();
+
+  sched.reset();
+  EXPECT_EQ(sched.dispatched(), 0u);
+  EXPECT_EQ(sched.scheduled(), 0u);
+  EXPECT_EQ(sched.now(), 0);
+  EXPECT_EQ(sched.pool_slots(), slab) << "reset() must keep the event slab";
+
+  std::vector<util::SimTimeUs> second_run;
+  drive_chain(sched, 32, &second_run);
+  EXPECT_EQ(second_run, first_run);
+}
+
+TEST(SchedulerResetTest, ResetRebindsToExternalClock) {
+  util::SimClock clock;
+  clock.advance_to(5000);
+  event::Scheduler sched;
+  drive_chain(sched, 4, nullptr);
+  clock.reset();
+  sched.reset(clock);
+  EXPECT_EQ(sched.now(), 0);
+  drive_chain(sched, 4, nullptr);
+  EXPECT_EQ(clock.now(), 3 + 3 * 7) << "runs must drive the external clock";
+}
+
+TEST(WorkspaceTest, ScopedSchedulerLeasesBoundWorkspace) {
+  ASSERT_EQ(session::current_workspace(), nullptr);
+  session::Workspace workspace;
+  {
+    session::WorkspaceScope scope(workspace);
+    ASSERT_EQ(session::current_workspace(), &workspace);
+    {
+      session::ScopedScheduler outer(nullptr);
+      EXPECT_EQ(&outer.get(), &workspace.scheduler())
+          << "first lease must reuse the workspace scheduler";
+      // Nested acquisition while the workspace is leased falls back to an
+      // owned scheduler (a runner driving a StreamPipeline mid-session).
+      session::ScopedScheduler inner(nullptr);
+      EXPECT_NE(&inner.get(), &workspace.scheduler());
+    }
+    EXPECT_EQ(workspace.leases(), 1u);
+    {
+      session::ScopedScheduler again(nullptr);
+      EXPECT_EQ(&again.get(), &workspace.scheduler());
+    }
+    EXPECT_EQ(workspace.leases(), 2u);
+  }
+  EXPECT_EQ(session::current_workspace(), nullptr);
+}
+
+TEST(WorkspaceTest, LeasedSchedulerIsFreshAndSlabStabilizes) {
+  session::Workspace workspace;
+  session::WorkspaceScope scope(workspace);
+  std::vector<util::SimTimeUs> baseline;
+  std::size_t slab_after_first = 0;
+  for (int i = 0; i < 4; ++i) {
+    session::ScopedScheduler lease(nullptr);
+    EXPECT_EQ(lease.get().dispatched(), 0u);
+    EXPECT_EQ(lease.get().now(), 0);
+    std::vector<util::SimTimeUs> times;
+    drive_chain(lease.get(), 16, &times);
+    if (i == 0) {
+      baseline = times;
+      slab_after_first = lease.get().pool_slots();
+    } else {
+      EXPECT_EQ(times, baseline);
+      EXPECT_EQ(lease.get().pool_slots(), slab_after_first)
+          << "slab must not grow across identical reused sessions";
+    }
+  }
+}
+
+TEST(LazyContextTest, IsolatedOwnsWithoutPreMaterializing) {
+  runtime::Context ctx = runtime::Context::isolated({.seed = 11});
+  // Ownership is reported before anything is materialized…
+  EXPECT_TRUE(ctx.owns_pool());
+  EXPECT_TRUE(ctx.owns_registry());
+  // …and accessors materialize stable singletons on demand.
+  obs::Registry& registry = ctx.registry();
+  EXPECT_EQ(&registry, &ctx.registry());
+  util::ThreadPool& pool = ctx.pool();
+  EXPECT_EQ(&pool, &ctx.pool());
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(ctx.seed(), 11u);
+}
+
+TEST(RunSessionTest, StampsSpecAndAccountingCounters) {
+  session::SessionSpec spec;
+  spec.variant = session::Variant::kChannel;
+  spec.seed = 17;
+  spec.duration_s = 0.5;
+
+  obs::Registry rollup;
+  session::SessionExecution exec;
+  exec.capture_metrics = true;
+  exec.rollup = &rollup;
+  const session::Report report =
+      session::run_session(spec, session::catalog_factory(), exec);
+
+  EXPECT_EQ(report.variant, session::Variant::kChannel);
+  EXPECT_EQ(report.seed, 17u);
+  EXPECT_GT(report.events, 0u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(report.slots, 0u);
+    EXPECT_EQ(rollup.counter("fleet_sessions_total").value(), 1u);
+    EXPECT_EQ(rollup.counter("fleet_events_total").value(), report.events);
+    EXPECT_EQ(rollup.counter("fleet_slots_total").value(), report.slots);
+    EXPECT_NE(report.metrics_jsonl.find("fleet_events_total"),
+              std::string::npos);
+  }
+}
+
+TEST(RunSessionTest, EveryCatalogVariantRuns) {
+  for (std::size_t v = 0; v < session::kVariantCount; ++v) {
+    session::SessionSpec spec;
+    spec.variant = static_cast<session::Variant>(v);
+    spec.seed = 23 + v;
+    spec.duration_s = 0.1;
+    const session::Report report =
+        session::run_session(spec, session::catalog_factory());
+    EXPECT_GT(report.events, 0u)
+        << session::variant_name(spec.variant) << " dispatched no events";
+    EXPECT_EQ(report.variant, spec.variant);
+  }
+}
+
+}  // namespace
+}  // namespace cyclops
