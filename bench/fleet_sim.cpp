@@ -55,6 +55,9 @@ session::SessionSpec make_spec(std::size_t i) {
     case session::Variant::kStream:
       spec.duration_s = 0.5;
       break;
+    case session::Variant::kOnlineRecal:
+      spec.duration_s = 0.2;
+      break;
   }
   return spec;
 }

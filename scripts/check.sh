@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# The full local gate, eight stages back to back:
+# The full local gate, nine stages back to back:
 #   1. release       — configure, build, and run the whole suite
 #                      (fast + ctx + slow + session + fleet labels).
 #   2. perf smoke    — fig16 on a 50-trace subset; fails if the event
@@ -25,19 +25,25 @@
 #                      hard-gates rollup-vs-per-session-sum
 #                      reconciliation and zero empty sessions, and this
 #                      stage additionally holds a sessions/sec floor.
-#   7. tsan-fast     — ThreadSanitizer over the quick gate plus the
+#   7. recal smoke   — bench/online_recal on a 1-second drift session;
+#                      the binary hard-gates >= 1 drift-triggered refit,
+#                      zero refit-attributable down windows, and >= 90 %
+#                      margin recovery over the frozen-calibration twin
+#                      (ISSUE-10 exit criterion: refit without outage).
+#   8. tsan-fast     — ThreadSanitizer over the quick gate plus the
 #                      context/concurrency isolation tests, the phy
 #                      layer, the streaming plane, the multi-TX arena,
-#                      and the session layer (fast|ctx|phy|stream|arena|
-#                      session), then the fleet determinism suite
-#                      (tsan-fleet) — so the engine-equivalence and ABR
-#                      bit-exactness oracles, the arena determinism
-#                      tests, and the fleet==alone byte-equality run
-#                      under both release AND tsan.
-#   8. obs-off-fast  — the CYCLOPS_OBS=OFF build of the same quick gate,
+#                      the session layer, and the calibration plane
+#                      (fast|ctx|phy|stream|arena|session|cal), then the
+#                      fleet determinism suite (tsan-fleet) — so the
+#                      engine-equivalence and ABR bit-exactness oracles,
+#                      the arena determinism tests, the LM checkpoint
+#                      resume sweeps, and the fleet==alone byte-equality
+#                      run under both release AND tsan.
+#   9. obs-off-fast  — the CYCLOPS_OBS=OFF build of the same quick gate,
 #                      proving the telemetry compile-out keeps everything
 #                      green.
-# Any failure stops the script (set -e); a clean exit means all eight
+# Any failure stops the script (set -e); a clean exit means all nine
 # gates passed.  Run from the repository root:  ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,12 +55,12 @@ cd "$(dirname "$0")/.."
 # best-of-2 precisely so this single-shot gate is stable.
 PERF_SPEEDUP_FLOOR="1.0"
 
-echo "== [1/8] release: configure + build + full test suite =="
+echo "== [1/9] release: configure + build + full test suite =="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== [2/8] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
+echo "== [2/9] perf smoke: fig16 50-trace subset, speedup floor ${PERF_SPEEDUP_FLOOR} =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "${smoke_dir}"' EXIT
 (cd "${smoke_dir}" && "${OLDPWD}/build/bench/fig16_trace_cdf" 50 > fig16_smoke.log)
@@ -72,7 +78,7 @@ awk -v s="${speedup}" -v floor="${PERF_SPEEDUP_FLOOR}" \
 # nearly linearly; 2x at >= 4 cores leaves generous headroom.
 PARALLEL_SPEEDUP_FLOOR="2.0"
 if [ "$(nproc)" -ge 4 ]; then
-  echo "== [3/8] parallel scaling: fig16 smoke on $(nproc) threads, speedup floor ${PARALLEL_SPEEDUP_FLOOR} =="
+  echo "== [3/9] parallel scaling: fig16 smoke on $(nproc) threads, speedup floor ${PARALLEL_SPEEDUP_FLOOR} =="
   (cd "${smoke_dir}" && CYCLOPS_THREADS="$(nproc)" \
     "${OLDPWD}/build/bench/fig16_trace_cdf" 50 > fig16_parallel.log)
   par="$(sed -n 's/.*"parallel_speedup": \([0-9.eE+-]*\).*/\1/p' \
@@ -84,10 +90,10 @@ if [ "$(nproc)" -ge 4 ]; then
     exit 1
   }
 else
-  echo "== [3/8] parallel scaling: SKIPPED ($(nproc) core(s) < 4 — the 2x floor needs >= 4) =="
+  echo "== [3/9] parallel scaling: SKIPPED ($(nproc) core(s) < 4 — the 2x floor needs >= 4) =="
 fi
 
-echo "== [4/8] stream smoke: 50-trace subset, torn frames + freeze-rate gates =="
+echo "== [4/9] stream smoke: 50-trace subset, torn frames + freeze-rate gates =="
 # The adaptive controller's freeze rate on the trace library must stay
 # under this ceiling (freezes per minute; the full run sits around 6 —
 # see BENCH_stream.json).  The binary itself additionally hard-fails on
@@ -108,7 +114,7 @@ awk -v f="${freeze}" -v c="${STREAM_FREEZE_CEILING}"   'BEGIN { exit !(f + 0 <= 
   exit 1
 }
 
-echo "== [5/8] arena smoke: 6-second subset, duty + migration + SLA gates =="
+echo "== [5/9] arena smoke: 6-second subset, duty + migration + SLA gates =="
 # Capacity floor for the predictive policy at 4 TXs on the 6 s smoke run
 # (fraction of the 16 offered headsets meeting their SLA; the full 30 s
 # run sits higher — see BENCH_arena.json).  The binary exits non-zero on
@@ -136,7 +142,7 @@ awk -v s="${sla}" -v floor="${ARENA_SLA_FLOOR}" \
   exit 1
 }
 
-echo "== [6/8] fleet smoke: 1000 mixed sessions, reconciliation + throughput gates =="
+echo "== [6/9] fleet smoke: 1000 mixed sessions, reconciliation + throughput gates =="
 # Sessions/sec floor for the 1k-session smoke fleet.  The reference
 # 1-core box sustains ~1500 sessions/s on the catalog mix
 # (BENCH_fleet.json); the floor catches an order-of-magnitude
@@ -161,13 +167,25 @@ awk -v s="${sps}" -v floor="${FLEET_SESSIONS_PER_SEC_FLOOR}" \
   exit 1
 }
 
-echo "== [7/8] tsan: quick gate (fast|ctx|phy|stream|arena|session) + fleet determinism =="
+echo "== [7/9] recal smoke: 1-second drift session, refit-without-outage gates =="
+# bench/online_recal self-gates: >= 1 refit, refit_down_windows == 0,
+# margin_recovered >= 0.9 (the full 2 s run sits around 0.97 — see
+# BENCH_recal.json).  Re-reading the JSON keeps the recovery number
+# visible in the gate log.
+(cd "${smoke_dir}" && "${OLDPWD}/build/bench/online_recal" 1.0 > recal_smoke.log)
+recovered="$(sed -n 's/.*"margin_recovered": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_recal_smoke.json")"
+refit_down="$(sed -n 's/.*"refit_down_windows": \([0-9.eE+-]*\).*/\1/p' \
+  "${smoke_dir}/BENCH_recal_smoke.json")"
+echo "recal smoke: margin_recovered=${recovered}, refit_down_windows=${refit_down}"
+
+echo "== [8/9] tsan: quick gate (fast|ctx|phy|stream|arena|session|cal) + fleet determinism =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan-fast
 ctest --preset tsan-fleet
 
-echo "== [8/8] obs-off-fast: telemetry compiled out, quick-gate labels =="
+echo "== [9/9] obs-off-fast: telemetry compiled out, quick-gate labels =="
 cmake --preset obs-off
 cmake --build --preset obs-off -j "$(nproc)"
 ctest --preset obs-off-fast

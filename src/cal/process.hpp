@@ -1,0 +1,76 @@
+// Event-driven calibration: a Process that advances a CalibrationEngine
+// on an event::Scheduler timeline.  Sample collection runs as timed
+// events (board grid points and aligner searches take real bench time);
+// fit iterations batch several LM steps per event at a faster cadence.
+//
+// Because the engine's arithmetic is independent of how its steps are
+// sliced (see cal/engine.hpp), driving it through a scheduler produces a
+// CalibrationResult bit-identical to `while (engine.step()) {}` — the
+// event plane adds *when*, never *what*.
+#pragma once
+
+#include <cstdint>
+
+#include "cal/engine.hpp"
+#include "event/event.hpp"
+#include "event/process.hpp"
+#include "event/scheduler.hpp"
+
+namespace cyclops::cal {
+
+struct CalibrationProcessConfig {
+  /// Bench time per collection step (one board grid point or one
+  /// exhaustive-aligner search).
+  util::SimTimeUs sample_interval_us = 1000;
+  /// Collection steps executed per event.
+  int samples_per_event = 1;
+  /// Wall cadence of optimizer events.
+  util::SimTimeUs fit_interval_us = 200;
+  /// LM iterations (or multi-starts, in the blind phases) per event.
+  int fit_iters_per_event = 4;
+};
+
+class CalibrationProcess final : public event::Process {
+ public:
+  /// `engine` must outlive the process (and may be pre-advanced or
+  /// checkpoint-restored; the process simply continues it).
+  explicit CalibrationProcess(CalibrationEngine& engine,
+                              const CalibrationProcessConfig& config = {})
+      : engine_(&engine), config_(config) {}
+
+  /// Registers with `sched` and schedules the first step event.  Call
+  /// once; the process then reschedules itself until the engine is done.
+  void start(event::Scheduler& sched) {
+    id_ = sched.add_process(this);
+    schedule_next(sched);
+  }
+
+  void handle(event::Scheduler& sched, const event::Event&) override {
+    ++events_;
+    const int batch = engine_->collecting() ? config_.samples_per_event
+                                            : config_.fit_iters_per_event;
+    for (int i = 0; i < batch && engine_->step(); ++i) {
+    }
+    if (!engine_->done()) schedule_next(sched);
+  }
+
+  const char* name() const noexcept override { return "calibration"; }
+
+  std::uint64_t events() const noexcept { return events_; }
+  bool done() const noexcept { return engine_->done(); }
+
+ private:
+  void schedule_next(event::Scheduler& sched) {
+    const util::SimTimeUs dt = engine_->collecting()
+                                   ? config_.sample_interval_us
+                                   : config_.fit_interval_us;
+    sched.schedule_after(dt, event::Event{0, /*type=*/0, id_, 0, 0.0});
+  }
+
+  CalibrationEngine* engine_;
+  CalibrationProcessConfig config_;
+  event::ProcessId id_ = event::kNoProcess;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace cyclops::cal

@@ -1,11 +1,8 @@
 #include "core/calibration.hpp"
 
-#include "galvo/factory.hpp"
 #include "geom/mat3.hpp"
-#include "obs/config.hpp"
 
 namespace cyclops::core {
-namespace {
 
 geom::Pose random_pose_error(util::Rng& rng, double pos_sigma,
                              double angle_sigma) {
@@ -15,8 +12,6 @@ geom::Pose random_pose_error(util::Rng& rng, double pos_sigma,
           {rng.normal(0.0, pos_sigma), rng.normal(0.0, pos_sigma),
            rng.normal(0.0, pos_sigma)}};
 }
-
-}  // namespace
 
 geom::Pose random_rig_pose(const geom::Pose& nominal, double position_extent,
                            double angle_extent, util::Rng& rng) {
@@ -30,85 +25,8 @@ geom::Pose random_rig_pose(const geom::Pose& nominal, double position_extent,
                     nominal.translation() + offset};
 }
 
-CalibrationResult calibrate_prototype(sim::Prototype& proto,
-                                      const CalibrationConfig& config,
-                                      util::Rng& rng,
-                                      const runtime::Context& ctx) {
-  const galvo::GalvoSpec spec = galvo::gvs102_spec();
-  const GmaModel guess = nominal_kspace_guess(proto.config.board_distance);
-
-  // ---- Stage 1: each GMA on the board rig. ----
-  const galvo::GalvoMirror tx_galvo(proto.tx_galvo_truth, spec);
-  const auto tx_samples = collect_board_samples(
-      tx_galvo, proto.k_from_tx_gma, config.board, rng, ctx);
-  KSpaceFitReport tx_stage1 =
-      fit_kspace_model(tx_samples, guess, config.stage1_options, ctx);
-
-  const galvo::GalvoMirror rx_galvo(proto.rx_galvo_truth, spec);
-  const auto rx_samples = collect_board_samples(
-      rx_galvo, proto.k_from_rx_gma, config.board, rng, ctx);
-  KSpaceFitReport rx_stage1 =
-      fit_kspace_model(rx_samples, guess, config.stage1_options, ctx);
-
-  // ---- Stage 2: aligned-link tuples in the deployed scene. ----
-  ExhaustiveAligner aligner(config.aligner, ctx);
-  std::vector<AlignedSample> tuples;
-  tuples.reserve(static_cast<std::size_t>(config.stage2_samples));
-  sim::Voltages hint{};
-  for (int i = 0; i < config.stage2_samples; ++i) {
-    const geom::Pose pose =
-        random_rig_pose(proto.nominal_rig_pose, config.pose_position_extent,
-                        config.pose_angle_extent, rng);
-    proto.apply_rig_flex(rng);
-    proto.scene.set_rig_pose(pose);
-    const AlignResult aligned = aligner.align(proto.scene, hint);
-    if constexpr (obs::kEnabled) {
-      ctx.registry()
-          .counter("align_status_total",
-                   {{"status", to_string(aligned.status)}})
-          .inc();
-    }
-    if (!aligned.converged()) continue;  // the lab would not record this pose
-    hint = aligned.voltages;
-    const tracking::PoseReport report = proto.tracker.report(0, pose);
-    tuples.push_back({aligned.voltages, report.pose});
-  }
-
-  // Initial guesses: manual measurement of the deployment.
-  const geom::Pose tx_guess =
-      proto.true_map_tx * random_pose_error(rng, config.guess_position_sigma,
-                                            config.guess_angle_sigma);
-  const geom::Pose rx_guess =
-      proto.true_map_rx * random_pose_error(rng, config.guess_position_sigma,
-                                            config.guess_angle_sigma);
-
-  MappingFitReport mapping =
-      config.blind_stage2
-          ? fit_mapping_blind(tx_stage1.model, rx_stage1.model, tuples, rng,
-                              config.stage2_options, ctx)
-          : fit_mapping(tx_stage1.model, rx_stage1.model, tuples, tx_guess,
-                        rx_guess, config.stage2_options, ctx);
-  // Multi-start: the 12-parameter landscape has local optima; when the
-  // residual looks poor, retry from jittered guesses and keep the best.
-  for (int attempt = 0;
-       attempt < 4 && mapping.avg_coincidence_m > 5e-3; ++attempt) {
-    const geom::Pose tx_retry =
-        tx_guess * random_pose_error(rng, config.guess_position_sigma,
-                                     config.guess_angle_sigma);
-    const geom::Pose rx_retry =
-        rx_guess * random_pose_error(rng, config.guess_position_sigma,
-                                     config.guess_angle_sigma);
-    MappingFitReport candidate =
-        fit_mapping(tx_stage1.model, rx_stage1.model, tuples, tx_retry,
-                    rx_retry, config.stage2_options, ctx);
-    if (candidate.avg_coincidence_m < mapping.avg_coincidence_m) {
-      mapping = std::move(candidate);
-    }
-  }
-
-  proto.scene.set_rig_pose(proto.nominal_rig_pose);
-  return {std::move(tx_stage1), std::move(rx_stage1), std::move(mapping),
-          std::move(tuples)};
-}
+// calibrate_prototype lives in cal/engine.cpp: the pipeline is now the
+// phase sequence of cal::CalibrationEngine, and the one-shot entry point
+// is an adapter that steps the engine to completion.
 
 }  // namespace cyclops::core

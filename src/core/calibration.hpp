@@ -54,11 +54,21 @@ struct CalibrationResult {
 geom::Pose random_rig_pose(const geom::Pose& nominal, double position_extent,
                            double angle_extent, util::Rng& rng);
 
+/// Draws a small random pose perturbation (axis from 3 normals, angle
+/// N(0, angle_sigma), translation N(0, pos_sigma) per axis) — the model
+/// of manual-measurement error used to seed and retry the Stage-2 fit.
+geom::Pose random_pose_error(util::Rng& rng, double pos_sigma,
+                             double angle_sigma);
+
 /// Runs the full pipeline on a prototype.  Leaves the scene at the
 /// nominal rig pose.  Deterministic given `rng`.  Every optimizer and
 /// aligner inside runs on `ctx` — pool for the fan-out, registry for the
 /// `lm_*` telemetry; the default context reproduces the old
 /// global-pool/global-registry behavior.
+///
+/// Defined in cyclops_cal (cal/engine.cpp) as a thin adapter that drives
+/// cal::CalibrationEngine to completion — bit-exact with the historical
+/// one-shot pipeline, including the caller-visible `rng` stream state.
 CalibrationResult calibrate_prototype(
     sim::Prototype& proto, const CalibrationConfig& config, util::Rng& rng,
     const runtime::Context& ctx = runtime::Context::default_ctx());

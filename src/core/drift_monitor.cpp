@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/config.hpp"
+#include "obs/registry.hpp"
+
 namespace cyclops::core {
 
 void DriftMonitor::on_post_realignment_power(double power_dbm) {
@@ -19,16 +22,27 @@ void DriftMonitor::on_post_realignment_power(double power_dbm) {
     ema_ += alpha * (power_dbm - ema_);
   }
   ++samples_;
+  if (samples_ >= config_.min_samples &&
+      ema_ < config_.healthy_power_dbm - config_.drift_threshold_db) {
+    latched_ = true;
+  }
 }
 
-bool DriftMonitor::recalibration_needed() const noexcept {
-  if (samples_ < config_.min_samples) return false;
-  return ema_ < config_.healthy_power_dbm - config_.drift_threshold_db;
-}
+bool DriftMonitor::recalibration_needed() const noexcept { return latched_; }
 
 void DriftMonitor::reset() {
   ema_ = 0.0;
   samples_ = 0;
+  latched_ = false;
+}
+
+void DriftMonitor::publish(obs::Registry& registry) const {
+  if constexpr (obs::kEnabled) {
+    registry.gauge("drift_monitor_ema_dbm").set(ema_);
+    registry.gauge("drift_monitor_samples")
+        .set(static_cast<double>(samples_));
+    registry.gauge("drift_monitor_recal_needed").set(latched_ ? 1.0 : 0.0);
+  }
 }
 
 }  // namespace cyclops::core

@@ -12,6 +12,10 @@
 
 #include "util/sim_clock.hpp"
 
+namespace cyclops::obs {
+class Registry;
+}
+
 namespace cyclops::core {
 
 struct DriftMonitorConfig {
@@ -36,19 +40,30 @@ class DriftMonitor {
   /// Smoothed post-realignment power (dBm).
   double smoothed_power_dbm() const noexcept { return ema_; }
 
-  /// True when the mapping should be re-learned (Stage 2 only).
+  /// True when the mapping should be re-learned (Stage 2 only).  The flag
+  /// latches: once the EMA has crossed `healthy - threshold` (strictly
+  /// below — an EMA sitting exactly at the boundary does not flag) it
+  /// stays raised until reset(), so a refit in flight is not cancelled by
+  /// the EMA wobbling back over the line (hysteresis).
   bool recalibration_needed() const noexcept;
 
-  /// Call after re-running the mapping step.
+  /// Call after re-running the mapping step.  Clears the EMA, the sample
+  /// count, and the latched flag.
   void reset();
 
   int samples() const noexcept { return samples_; }
   const DriftMonitorConfig& config() const noexcept { return config_; }
 
+  /// Exports the monitor state as gauges (`drift_monitor_ema_dbm`,
+  /// `drift_monitor_samples`, `drift_monitor_recal_needed`).  A no-op
+  /// when telemetry is compiled out (CYCLOPS_OBS=OFF).
+  void publish(obs::Registry& registry) const;
+
  private:
   DriftMonitorConfig config_;
   double ema_ = 0.0;
   int samples_ = 0;
+  bool latched_ = false;
 };
 
 }  // namespace cyclops::core

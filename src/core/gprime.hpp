@@ -33,6 +33,14 @@ struct GPrimeResult {
   double miss_distance = 0.0;
 };
 
+/// Resumable G' iteration state: the in-progress result plus a halt flag
+/// for the degenerate-geometry exits (invalid trace, missed plane,
+/// singular 2x2 system) that abort a solve without convergence.
+struct GPrimeState {
+  GPrimeResult result;
+  bool halted = false;
+};
+
 class GPrimeSolver {
  public:
   /// Convergence tallies (`gprime_*`) are hoisted once from
@@ -44,9 +52,26 @@ class GPrimeSolver {
       const runtime::Context& ctx = runtime::Context::default_ctx());
 
   /// Solves for the voltages aiming `model`'s beam through `target`,
-  /// starting from (v1_init, v2_init).
+  /// starting from (v1_init, v2_init).  An adapter over
+  /// begin()/advance(): one metrics record per solve, exactly as before.
   GPrimeResult solve(const GmaModel& model, const geom::Vec3& target,
                      double v1_init = 0.0, double v2_init = 0.0) const;
+
+  /// Starts an iteration-granular solve at (v1_init, v2_init).
+  GPrimeState begin(double v1_init, double v2_init) const;
+
+  /// Runs one G' iteration.  Returns false when the solve can take no
+  /// further iteration (converged, degenerate geometry, or the iteration
+  /// budget is exhausted); `while (advance(...)) {}` reproduces solve()'s
+  /// loop bit-exactly.  Records no metrics — the driver decides when a
+  /// solve happened.
+  bool advance(const GmaModel& model, const geom::Vec3& target,
+               GPrimeState& state) const;
+
+  /// Post-loop miss-distance diagnostic (skipped on halted solves, like
+  /// the one-shot early returns).
+  void finish(const GmaModel& model, const geom::Vec3& target,
+              GPrimeState& state) const;
 
   const GPrimeOptions& options() const noexcept { return options_; }
 

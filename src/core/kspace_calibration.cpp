@@ -22,40 +22,56 @@ std::optional<geom::Vec3> board_hit(const GmaModel& model, double v1,
 
 }  // namespace
 
+BoardSampleCollector::BoardSampleCollector(
+    const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
+    const BoardConfig& config, const runtime::Context& ctx)
+    // The physical unit, as a geometric model in the board (K) frame.  This
+    // stands in for the experimenter's closed visual loop: they can steer
+    // the real beam onto a real grid point without knowing any parameters.
+    : galvo_(&physical_galvo),
+      truth_in_k_(GmaModel(physical_galvo.params()).transformed(k_from_gma)),
+      config_(config),
+      solver_(GPrimeOptions{}, ctx) {
+  // A board with no interior columns has no grid points at all (the
+  // one-shot loop's inner `for j` never runs): start done.
+  if (config_.cells_y <= 1) state_.i = config_.cells_x;
+}
+
+bool BoardSampleCollector::step(util::Rng& rng) {
+  if (done()) return false;
+  const int i = state_.i;
+  const int j = state_.j;
+  const double gx = (i - config_.cells_x / 2.0) * config_.cell_size;
+  const double gy = (j - config_.cells_y / 2.0) * config_.cell_size;
+  // The beam lands within hand-alignment accuracy of the grid point.
+  const geom::Vec3 achieved{gx + rng.normal(0.0, config_.alignment_sigma),
+                            gy + rng.normal(0.0, config_.alignment_sigma),
+                            0.0};
+  const auto result =
+      solver_.solve(truth_in_k_, achieved, state_.v1, state_.v2);
+  const bool usable = result.converged &&
+                      galvo_->voltage_in_range(result.v1) &&
+                      galvo_->voltage_in_range(result.v2);
+  if (usable) {
+    state_.v1 = result.v1;
+    state_.v2 = result.v2;
+    samples_.push_back({gx, gy, state_.v1, state_.v2});
+  }
+  // Advance the grid cursor in the one-shot loop's (i, j) order.
+  if (++state_.j >= config_.cells_y) {
+    state_.j = 1;
+    ++state_.i;
+  }
+  return !done();
+}
+
 std::vector<BoardSample> collect_board_samples(
     const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
     const BoardConfig& config, util::Rng& rng, const runtime::Context& ctx) {
-  // The physical unit, as a geometric model in the board (K) frame.  This
-  // stands in for the experimenter's closed visual loop: they can steer the
-  // real beam onto a real grid point without knowing any parameters.
-  const GmaModel truth_in_k =
-      GmaModel(physical_galvo.params()).transformed(k_from_gma);
-  const GPrimeSolver solver(GPrimeOptions{}, ctx);
-
-  std::vector<BoardSample> samples;
-  double v1 = 0.0, v2 = 0.0;  // warm start from the previous grid point
-  for (int i = 1; i < config.cells_x; ++i) {
-    for (int j = 1; j < config.cells_y; ++j) {
-      const double gx =
-          (i - config.cells_x / 2.0) * config.cell_size;
-      const double gy =
-          (j - config.cells_y / 2.0) * config.cell_size;
-      // The beam lands within hand-alignment accuracy of the grid point.
-      const geom::Vec3 achieved{gx + rng.normal(0.0, config.alignment_sigma),
-                                gy + rng.normal(0.0, config.alignment_sigma),
-                                0.0};
-      const auto result = solver.solve(truth_in_k, achieved, v1, v2);
-      if (!result.converged) continue;
-      if (!physical_galvo.voltage_in_range(result.v1) ||
-          !physical_galvo.voltage_in_range(result.v2)) {
-        continue;  // grid point outside the coverage cone
-      }
-      v1 = result.v1;
-      v2 = result.v2;
-      samples.push_back({gx, gy, v1, v2});
-    }
+  BoardSampleCollector collector(physical_galvo, k_from_gma, config, ctx);
+  while (collector.step(rng)) {
   }
-  return samples;
+  return collector.take_samples();
 }
 
 double board_error(const GmaModel& model, const BoardSample& sample) {
@@ -66,12 +82,11 @@ double board_error(const GmaModel& model, const BoardSample& sample) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
-                                 const GmaModel& initial_guess,
-                                 const opt::LevMarOptions& options,
-                                 const runtime::Context& ctx) {
-  const auto residual_fn = [&samples](std::span<const double> params,
-                                      std::vector<double>& residuals) {
+KSpaceFitProblem make_kspace_problem(const std::vector<BoardSample>& samples,
+                                     const GmaModel& initial_guess) {
+  KSpaceFitProblem problem;
+  problem.residuals = [&samples](std::span<const double> params,
+                                 std::vector<double>& residuals) {
     std::array<double, galvo::GalvoParams::kParamCount> packed{};
     std::copy(params.begin(), params.end(), packed.begin());
     const GmaModel model(galvo::GalvoParams::unpack(packed));
@@ -86,11 +101,13 @@ KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
       }
     }
   };
-
   const auto packed = initial_guess.params().pack();
-  const auto fit = opt::levenberg_marquardt(
-      residual_fn, {packed.begin(), packed.end()}, options, ctx);
+  problem.initial.assign(packed.begin(), packed.end());
+  return problem;
+}
 
+KSpaceFitReport finish_kspace_fit(const std::vector<BoardSample>& samples,
+                                  const opt::LevMarResult& fit) {
   std::array<double, galvo::GalvoParams::kParamCount> out{};
   std::copy(fit.params.begin(), fit.params.end(), out.begin());
   KSpaceFitReport report{GmaModel(galvo::GalvoParams::unpack(out)), 0.0, 0.0,
@@ -104,6 +121,16 @@ KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
     report.avg_error_m /= static_cast<double>(samples.size());
   }
   return report;
+}
+
+KSpaceFitReport fit_kspace_model(const std::vector<BoardSample>& samples,
+                                 const GmaModel& initial_guess,
+                                 const opt::LevMarOptions& options,
+                                 const runtime::Context& ctx) {
+  const KSpaceFitProblem problem = make_kspace_problem(samples, initial_guess);
+  const auto fit = opt::levenberg_marquardt(problem.residuals, problem.initial,
+                                            options, ctx);
+  return finish_kspace_fit(samples, fit);
 }
 
 GmaModel nominal_kspace_guess(double board_distance) {

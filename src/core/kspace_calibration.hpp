@@ -40,11 +40,57 @@ struct BoardConfig {
 /// Emulates the lab data collection against the *physical* galvo mounted
 /// at `k_from_gma` in the board rig.  Only interior grid points are used
 /// (19 x 14 = 266 for the default board).  The internal G' solves tally
-/// into `ctx.registry()`.
+/// into `ctx.registry()`.  (An adapter over BoardSampleCollector.)
 std::vector<BoardSample> collect_board_samples(
     const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
     const BoardConfig& config, util::Rng& rng,
     const runtime::Context& ctx = runtime::Context::default_ctx());
+
+/// Grid-point-granular board collection: one step() per interior grid
+/// point, drawing the same rng values in the same order as the one-shot
+/// loop, so the sample set (and the caller's rng stream) is bit-identical
+/// however the steps are sliced across events.  Checkpointable: state()
+/// plus the samples so far fully determine the continuation.
+class BoardSampleCollector {
+ public:
+  /// Resumable scalar state (the grid cursor and the G' warm start).
+  struct State {
+    int i = 1;
+    int j = 1;
+    double v1 = 0.0;
+    double v2 = 0.0;
+  };
+
+  /// `physical_galvo` must outlive the collector.
+  BoardSampleCollector(
+      const galvo::GalvoMirror& physical_galvo, const geom::Pose& k_from_gma,
+      const BoardConfig& config,
+      const runtime::Context& ctx = runtime::Context::default_ctx());
+
+  bool done() const noexcept { return state_.i >= config_.cells_x; }
+
+  /// Processes one grid point (draws the hand-alignment noise, runs G',
+  /// records the sample if usable).  Returns !done() afterwards.
+  bool step(util::Rng& rng);
+
+  const std::vector<BoardSample>& samples() const noexcept { return samples_; }
+  std::vector<BoardSample> take_samples() { return std::move(samples_); }
+
+  const State& state() const noexcept { return state_; }
+  /// Restores a checkpointed collection mid-grid.
+  void restore(const State& state, std::vector<BoardSample> samples) {
+    state_ = state;
+    samples_ = std::move(samples);
+  }
+
+ private:
+  const galvo::GalvoMirror* galvo_;
+  GmaModel truth_in_k_;
+  BoardConfig config_;
+  GPrimeSolver solver_;
+  std::vector<BoardSample> samples_;
+  State state_;
+};
 
 struct KSpaceFitReport {
   GmaModel model;          ///< Learned model, expressed in K-space.
@@ -60,11 +106,30 @@ double board_error(const GmaModel& model, const BoardSample& sample);
 
 /// Fits the 25 GalvoParams to the samples, seeded by `initial_guess`
 /// (nominal CAD geometry placed at the nominal rig pose).  The LM solve
-/// runs on `ctx` (its pool and its registry).
+/// runs on `ctx` (its pool and its registry).  (An adapter over
+/// make_kspace_problem / finish_kspace_fit.)
 KSpaceFitReport fit_kspace_model(
     const std::vector<BoardSample>& samples, const GmaModel& initial_guess,
     const opt::LevMarOptions& options = {},
     const runtime::Context& ctx = runtime::Context::default_ctx());
+
+/// The Stage-1 fit as data — a residual function plus the packed initial
+/// parameters — so an iteration-granular driver (opt::LmStepper inside
+/// cal::CalibrationEngine) can run the same least-squares problem one LM
+/// iteration at a time.  The residual function captures `samples` by
+/// reference: the vector must outlive the returned problem.
+struct KSpaceFitProblem {
+  opt::ResidualFn residuals;
+  std::vector<double> initial;
+};
+
+KSpaceFitProblem make_kspace_problem(const std::vector<BoardSample>& samples,
+                                     const GmaModel& initial_guess);
+
+/// Turns a finished LM solve over make_kspace_problem back into the
+/// report fit_kspace_model returns (model unpack + error stats).
+KSpaceFitReport finish_kspace_fit(const std::vector<BoardSample>& samples,
+                                  const opt::LevMarResult& fit);
 
 /// The customary initial guess: CAD-nominal galvo at the nominal board-rig
 /// placement (board_distance in front of the board, boresight at center).

@@ -141,15 +141,15 @@ MappingFitReport fit_mapping_blind(const GmaModel& tx_kspace,
   return best_report;
 }
 
-MappingFitReport fit_mapping(const GmaModel& tx_kspace,
-                             const GmaModel& rx_kspace,
-                             const std::vector<AlignedSample>& samples,
-                             const geom::Pose& tx_guess,
-                             const geom::Pose& rx_guess,
-                             const opt::LevMarOptions& options,
-                             const runtime::Context& ctx) {
-  const auto residual_fn = [&](std::span<const double> params,
-                               std::vector<double>& residuals) {
+MappingFitProblem make_mapping_problem(const GmaModel& tx_kspace,
+                                       const GmaModel& rx_kspace,
+                                       const std::vector<AlignedSample>& samples,
+                                       const geom::Pose& tx_guess,
+                                       const geom::Pose& rx_guess) {
+  MappingFitProblem problem;
+  problem.residuals = [&tx_kspace, &rx_kspace, &samples](
+                          std::span<const double> params,
+                          std::vector<double>& residuals) {
     const auto [map_tx, map_rx] = unpack_maps(params);
     const GmaModel tx_vr = tx_kspace.transformed(map_tx);
     residuals.resize(samples.size() * 6);
@@ -168,11 +168,15 @@ MappingFitReport fit_mapping(const GmaModel& tx_kspace,
       }
     }
   };
-
   const auto packed = pack_maps(tx_guess, rx_guess);
-  const auto fit = opt::levenberg_marquardt(
-      residual_fn, {packed.begin(), packed.end()}, options, ctx);
+  problem.initial.assign(packed.begin(), packed.end());
+  return problem;
+}
 
+MappingFitReport finish_mapping_fit(const GmaModel& tx_kspace,
+                                    const GmaModel& rx_kspace,
+                                    const std::vector<AlignedSample>& samples,
+                                    const opt::LevMarResult& fit) {
   const auto [map_tx, map_rx] = unpack_maps(fit.params);
   MappingFitReport report{map_tx, map_rx, 0.0, 0.0, fit.iterations,
                           fit.converged};
@@ -189,6 +193,20 @@ MappingFitReport fit_mapping(const GmaModel& tx_kspace,
     report.avg_coincidence_m /= static_cast<double>(samples.size());
   }
   return report;
+}
+
+MappingFitReport fit_mapping(const GmaModel& tx_kspace,
+                             const GmaModel& rx_kspace,
+                             const std::vector<AlignedSample>& samples,
+                             const geom::Pose& tx_guess,
+                             const geom::Pose& rx_guess,
+                             const opt::LevMarOptions& options,
+                             const runtime::Context& ctx) {
+  const MappingFitProblem problem =
+      make_mapping_problem(tx_kspace, rx_kspace, samples, tx_guess, rx_guess);
+  const auto fit = opt::levenberg_marquardt(problem.residuals, problem.initial,
+                                            options, ctx);
+  return finish_mapping_fit(tx_kspace, rx_kspace, samples, fit);
 }
 
 }  // namespace cyclops::core

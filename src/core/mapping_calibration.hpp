@@ -57,9 +57,34 @@ struct MappingFitReport {
   bool converged = false;
 };
 
+/// The Stage-2 fit as data — the 6-residuals-per-sample Lemma-1 function
+/// plus the packed 12-parameter initial guess — so an iteration-granular
+/// driver (opt::LmStepper inside cal::CalibrationEngine or the online
+/// recalibrator) can run the same problem one LM iteration at a time.
+/// The residual function captures `tx_kspace`, `rx_kspace`, and `samples`
+/// by reference: all three must outlive the returned problem.
+struct MappingFitProblem {
+  opt::ResidualFn residuals;
+  std::vector<double> initial;
+};
+
+MappingFitProblem make_mapping_problem(const GmaModel& tx_kspace,
+                                       const GmaModel& rx_kspace,
+                                       const std::vector<AlignedSample>& samples,
+                                       const geom::Pose& tx_guess,
+                                       const geom::Pose& rx_guess);
+
+/// Turns a finished LM solve over make_mapping_problem back into the
+/// report fit_mapping returns (pose unpack + coincidence stats).
+MappingFitReport finish_mapping_fit(const GmaModel& tx_kspace,
+                                    const GmaModel& rx_kspace,
+                                    const std::vector<AlignedSample>& samples,
+                                    const opt::LevMarResult& fit);
+
 /// Fits the 12 mapping parameters.  `tx_guess` / `rx_guess` come from
 /// manual measurement of the deployment (a few cm / few degrees off).
-/// The LM solve runs on `ctx` (its pool and its registry).
+/// The LM solve runs on `ctx` (its pool and its registry).  (An adapter
+/// over make_mapping_problem / finish_mapping_fit.)
 MappingFitReport fit_mapping(
     const GmaModel& tx_kspace, const GmaModel& rx_kspace,
     const std::vector<AlignedSample>& samples, const geom::Pose& tx_guess,

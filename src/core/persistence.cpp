@@ -1,6 +1,7 @@
 #include "core/persistence.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <span>
@@ -14,6 +15,10 @@ namespace {
 constexpr const char* kMagicV1 = "cyclops-calibration v1";
 constexpr const char* kMagicV2 = "cyclops-calibration v2";
 
+}  // namespace
+
+namespace persist {
+
 void write_values(std::ostream& out, const char* key,
                   std::span<const double> values) {
   out << key;
@@ -22,15 +27,18 @@ void write_values(std::ostream& out, const char* key,
   out << '\n';
 }
 
+void write_u64_values(std::ostream& out, const char* key,
+                      std::span<const std::uint64_t> values) {
+  out << key;
+  for (std::uint64_t v : values) out << ' ' << v;
+  out << '\n';
+}
+
 [[noreturn]] void fail(int line_number, const std::string& what) {
   throw std::runtime_error("calibration file line " +
                            std::to_string(line_number) + ": " + what);
 }
 
-/// Parses one `<key> <count doubles>` line, with every rejection naming
-/// the 1-based line and field so a hand-edited or truncated file points
-/// at itself.  `line_number` counts the lines consumed so far (the header
-/// is line 1).
 std::vector<double> expect_line(std::istream& in, const std::string& key,
                                 std::size_t count, int& line_number) {
   std::string line;
@@ -67,7 +75,51 @@ std::vector<double> expect_line(std::istream& in, const std::string& key,
   return values;
 }
 
-}  // namespace
+std::vector<std::uint64_t> expect_u64_line(std::istream& in,
+                                           const std::string& key,
+                                           std::size_t count,
+                                           int& line_number) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    fail(line_number + 1, "file truncated, expected '" + key + "' record");
+  }
+  ++line_number;
+  std::istringstream ss(line);
+  std::string found_key;
+  ss >> found_key;
+  if (found_key != key) {
+    fail(line_number,
+         "expected '" + key + "' record, found '" + found_key + "'");
+  }
+  // Tokens go through from_chars, not the istream extractor: RNG words
+  // above 2^53 would silently lose bits through a double, and istream's
+  // unsigned extraction accepts '-' and wraps.
+  std::vector<std::uint64_t> values;
+  std::string token;
+  while (ss >> token) {
+    const int field = static_cast<int>(values.size()) + 1;
+    std::uint64_t v = 0;
+    const auto* first = token.data();
+    const auto* last = token.data() + token.size();
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc{} || ptr != last) {
+      fail(line_number, "field " + std::to_string(field) + " of " + key +
+                            " is not an unsigned 64-bit integer");
+    }
+    values.push_back(v);
+  }
+  if (values.size() != count) {
+    fail(line_number, "expected " + std::to_string(count) + " values for " +
+                          key + ", got " + std::to_string(values.size()));
+  }
+  return values;
+}
+
+}  // namespace persist
+
+using persist::expect_line;
+using persist::fail;
+using persist::write_values;
 
 void save_calibration(const std::filesystem::path& path,
                       const CalibrationResult& calibration) {

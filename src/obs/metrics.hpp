@@ -35,10 +35,11 @@ class Counter {
 };
 
 /// Last-written value (thread count, config knobs, final watermarks).
-/// merge_from keeps the other shard's value when that shard ever wrote —
-/// gauges recorded inside sharded sections are only deterministic when
-/// every shard writes the same value, so prefer recording them once from
-/// the driver thread.
+/// merge_from keeps the MAX of the two values once both sides have ever
+/// written (never-written sources are a no-op) — max is commutative and
+/// associative, so shard/fleet rollups are merge-order independent even
+/// when sessions record different values.  Within one session the usual
+/// advice stands: record a gauge once, from the driver thread.
 class Gauge {
  public:
   Gauge() = default;
@@ -56,7 +57,8 @@ class Gauge {
     return set_count_.load(std::memory_order_relaxed) != 0;
   }
   void merge_from(const Gauge& other) noexcept {
-    if (other.ever_set()) set(other.value());
+    if (!other.ever_set()) return;
+    if (!ever_set() || other.value() > value()) set(other.value());
   }
 
  private:

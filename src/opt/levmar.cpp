@@ -85,6 +85,103 @@ void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
   });
 }
 
+LmStepper::LmStepper(ResidualFn fn, std::vector<double> initial_guess,
+                     const LevMarOptions& options, const runtime::Context& ctx)
+    : fn_(std::move(fn)),
+      options_(options),
+      ctx_(&ctx),
+      params_(std::move(initial_guess)),
+      lambda_(options.initial_lambda) {
+  init_residuals();
+  initial_cost_ = cost_;
+}
+
+LmStepper::LmStepper(ResidualFn fn, const LmCheckpoint& checkpoint,
+                     const LevMarOptions& options, const runtime::Context& ctx)
+    : fn_(std::move(fn)),
+      options_(options),
+      ctx_(&ctx),
+      params_(checkpoint.params),
+      initial_cost_(checkpoint.initial_cost),
+      lambda_(checkpoint.lambda),
+      iterations_(checkpoint.iterations),
+      converged_(checkpoint.converged) {
+  // The checkpoint carries no residuals: they are a pure function of the
+  // parameters, so recomputing yields the exact vector the interrupted
+  // solve held — the continuation stays bit-identical.
+  init_residuals();
+}
+
+void LmStepper::init_residuals() {
+  fn_(params_, residuals_);
+  cost_ = cost_of(residuals_);
+}
+
+bool LmStepper::step() {
+  if (done()) return false;
+  // One outer iteration of the historical one-shot loop, verbatim.
+  iterations_ += 1;
+  numeric_jacobian(fn_, params_, options_.jacobian_epsilon, residuals_.size(),
+                   jac_, scratch_, ctx_->pool());
+  Matrix jtj = normal_matrix(jac_);
+  std::vector<double> jtr = transpose_times(jac_, residuals_);
+
+  bool stepped = false;
+  // Inner damping loop: grow lambda until a cost-reducing step is found.
+  for (int attempt = 0; attempt < 30; ++attempt) {
+    Matrix damped = jtj;
+    for (std::size_t d = 0; d < damped.rows(); ++d) {
+      damped(d, d) += lambda_ * std::max(jtj(d, d), 1e-12);
+    }
+    if (!solve_spd(damped, jtr, step_)) {
+      lambda_ *= options_.lambda_up;
+      continue;
+    }
+    candidate_ = params_;
+    double step_norm = 0.0;
+    for (std::size_t j = 0; j < params_.size(); ++j) {
+      candidate_[j] -= step_[j];
+      step_norm = std::max(step_norm, std::abs(step_[j]));
+    }
+    fn_(candidate_, cand_residuals_);
+    const double cand_cost = cost_of(cand_residuals_);
+    if (cand_cost < cost_) {
+      const double improvement =
+          (cost_ - cand_cost) / std::max(cost_, 1e-300);
+      params_ = candidate_;
+      residuals_ = cand_residuals_;
+      cost_ = cand_cost;
+      lambda_ = std::max(lambda_ * options_.lambda_down, 1e-12);
+      stepped = true;
+      if (improvement < options_.cost_tolerance ||
+          step_norm < options_.step_tolerance) {
+        converged_ = true;
+      }
+      break;
+    }
+    lambda_ *= options_.lambda_up;
+  }
+  if (!stepped) {
+    // No downhill step found: treat as converged at a (local) minimum.
+    converged_ = true;
+  }
+  return !done();
+}
+
+LmCheckpoint LmStepper::checkpoint() const {
+  return {params_, lambda_, initial_cost_, iterations_, converged_};
+}
+
+LevMarResult LmStepper::result() const {
+  LevMarResult result;
+  result.params = params_;
+  result.initial_cost = initial_cost_;
+  result.final_cost = cost_;
+  result.iterations = iterations_;
+  result.converged = converged_;
+  return result;
+}
+
 LevMarResult levenberg_marquardt(const ResidualFn& fn,
                                  std::vector<double> initial_guess,
                                  const LevMarOptions& options,
@@ -93,70 +190,11 @@ LevMarResult levenberg_marquardt(const ResidualFn& fn,
   if constexpr (obs::kEnabled) metrics.emplace(ctx.registry());
   obs::WallSpan span(metrics ? &metrics->wall_us : nullptr);
 
-  LevMarResult result;
-  std::vector<double> params = std::move(initial_guess);
-  std::vector<double> residuals;
-  fn(params, residuals);
-  double cost = cost_of(residuals);
-  result.initial_cost = cost;
-
-  double lambda = options.initial_lambda;
-  // Jacobian storage and per-chunk scratch live across iterations: the
-  // residual count is fixed, so nothing is reallocated after iteration 1.
-  Matrix jac;
-  JacobianScratch scratch;
-  std::vector<double> step, candidate, cand_residuals;
-
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    result.iterations = iter + 1;
-    numeric_jacobian(fn, params, options.jacobian_epsilon, residuals.size(),
-                     jac, scratch, ctx.pool());
-    Matrix jtj = normal_matrix(jac);
-    std::vector<double> jtr = transpose_times(jac, residuals);
-
-    bool stepped = false;
-    // Inner damping loop: grow lambda until a cost-reducing step is found.
-    for (int attempt = 0; attempt < 30; ++attempt) {
-      Matrix damped = jtj;
-      for (std::size_t d = 0; d < damped.rows(); ++d) {
-        damped(d, d) += lambda * std::max(jtj(d, d), 1e-12);
-      }
-      if (!solve_spd(damped, jtr, step)) {
-        lambda *= options.lambda_up;
-        continue;
-      }
-      candidate = params;
-      double step_norm = 0.0;
-      for (std::size_t j = 0; j < params.size(); ++j) {
-        candidate[j] -= step[j];
-        step_norm = std::max(step_norm, std::abs(step[j]));
-      }
-      fn(candidate, cand_residuals);
-      const double cand_cost = cost_of(cand_residuals);
-      if (cand_cost < cost) {
-        const double improvement = (cost - cand_cost) / std::max(cost, 1e-300);
-        params = candidate;
-        residuals = cand_residuals;
-        cost = cand_cost;
-        lambda = std::max(lambda * options.lambda_down, 1e-12);
-        stepped = true;
-        if (improvement < options.cost_tolerance ||
-            step_norm < options.step_tolerance) {
-          result.converged = true;
-        }
-        break;
-      }
-      lambda *= options.lambda_up;
-    }
-    if (!stepped) {
-      // No downhill step found: treat as converged at a (local) minimum.
-      result.converged = true;
-    }
-    if (result.converged) break;
+  LmStepper stepper(fn, std::move(initial_guess), options, ctx);
+  while (stepper.step()) {
   }
 
-  result.params = std::move(params);
-  result.final_cost = cost;
+  LevMarResult result = stepper.result();
   if constexpr (obs::kEnabled) {
     metrics->solves.inc();
     if (result.converged) metrics->converged.inc();

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "opt/linalg.hpp"
 #include "runtime/context.hpp"
 #include "util/thread_pool.hpp"
 
@@ -46,6 +47,8 @@ struct LevMarResult {
 /// `lm_*` metrics land in `ctx.registry()` — the default context
 /// reproduces the old global-pool/global-registry behavior, while a
 /// session-scoped context keeps concurrent solvers fully isolated.
+/// (Implemented as an adapter over LmStepper; bit-identical to the
+/// pre-stepper one-shot loop.)
 LevMarResult levenberg_marquardt(
     const ResidualFn& fn, std::vector<double> initial_guess,
     const LevMarOptions& options = {},
@@ -76,5 +79,80 @@ void numeric_jacobian(const ResidualFn& fn, std::span<const double> params,
                       double epsilon, std::size_t residual_count,
                       class Matrix& jacobian, JacobianScratch& scratch,
                       util::ThreadPool& pool = util::ThreadPool::global());
+
+/// Everything needed to resume an interrupted LM solve at an iteration
+/// boundary.  Residuals are deliberately absent: they are a deterministic
+/// function of `params`, so the resume constructor recomputes them and the
+/// continuation is bit-exact with the uninterrupted run.
+struct LmCheckpoint {
+  std::vector<double> params;
+  double lambda = 0.0;
+  double initial_cost = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Iteration-granular Levenberg-Marquardt: one outer LM iteration per
+/// step(), with the exact arithmetic (and ordering) of the historical
+/// one-shot loop — pausing after any step and resuming from checkpoint()
+/// produces bit-identical parameters, costs, and iteration counts.
+/// The `lm_*` registry metrics stay in the levenberg_marquardt adapter:
+/// a stepper records nothing, so engines driving it directly decide when
+/// a "solve" happened (cal::CalibrationEngine re-emits them on fit
+/// completion).
+class LmStepper {
+ public:
+  /// Fresh solve: evaluates the residuals at `initial_guess` once (the
+  /// one-shot path's pre-loop evaluation).
+  LmStepper(ResidualFn fn, std::vector<double> initial_guess,
+            const LevMarOptions& options = {},
+            const runtime::Context& ctx = runtime::Context::default_ctx());
+
+  /// Resume: re-evaluates the residuals at the checkpoint parameters and
+  /// continues exactly where the interrupted solve stopped.
+  LmStepper(ResidualFn fn, const LmCheckpoint& checkpoint,
+            const LevMarOptions& options = {},
+            const runtime::Context& ctx = runtime::Context::default_ctx());
+
+  /// True when the solve can take no further iteration (converged, or the
+  /// iteration budget is exhausted).
+  bool done() const noexcept {
+    return converged_ || iterations_ >= options_.max_iterations;
+  }
+
+  /// Runs one LM iteration if not done.  Returns !done() afterwards, so
+  /// `while (stepper.step()) {}` reproduces the one-shot solve.
+  bool step();
+
+  /// Resumable snapshot at the current iteration boundary.
+  LmCheckpoint checkpoint() const;
+
+  /// Result snapshot (final once done() is true).
+  LevMarResult result() const;
+
+  int iterations() const noexcept { return iterations_; }
+  double cost() const noexcept { return cost_; }
+
+ private:
+  void init_residuals();
+
+  ResidualFn fn_;
+  LevMarOptions options_;
+  const runtime::Context* ctx_;
+
+  std::vector<double> params_;
+  std::vector<double> residuals_;
+  double cost_ = 0.0;
+  double initial_cost_ = 0.0;
+  double lambda_ = 0.0;
+  int iterations_ = 0;
+  bool converged_ = false;
+
+  // Iteration scratch, reused across step() calls exactly as the one-shot
+  // loop reused it across iterations.
+  Matrix jac_;
+  JacobianScratch scratch_;
+  std::vector<double> step_, candidate_, cand_residuals_;
+};
 
 }  // namespace cyclops::opt

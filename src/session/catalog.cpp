@@ -8,6 +8,8 @@
 
 #include "arena/session.hpp"
 #include "arena/topology.hpp"
+#include "cal/online.hpp"
+#include "core/calibration.hpp"
 #include "core/gma_model.hpp"
 #include "core/pointing.hpp"
 #include "core/tp_controller.hpp"
@@ -341,6 +343,58 @@ class StreamRunner final : public SessionRunner {
   std::optional<stream::StreamPipeline> pipeline_;
 };
 
+/// kOnlineRecal — a drift-injected serving session with the mapping
+/// refitted in flight (cal::run_online_recal_session).  The calibration
+/// is assembled from prototype ground truth (the fleet measures the
+/// *recal plane*, not the offline pipeline), `motion` scales the drift
+/// severity, and `intensity` scales the rig excursion.
+class OnlineRecalRunner final : public SessionRunner {
+ public:
+  explicit OnlineRecalRunner(const SessionSpec& spec) : spec_(spec) {}
+  const char* name() const noexcept override { return "online_recal"; }
+
+  void prepare(runtime::Context&) override {
+    proto_.emplace(sim::make_prototype(100 + spec_.seed % 512,
+                                       sim::prototype_25g_config()));
+    calibration_.emplace(core::CalibrationResult{
+        core::KSpaceFitReport{core::GmaModel(proto_->tx_galvo_truth)
+                                  .transformed(proto_->k_from_tx_gma),
+                              0.0, 0.0, 0, true},
+        core::KSpaceFitReport{core::GmaModel(proto_->rx_galvo_truth)
+                                  .transformed(proto_->k_from_rx_gma),
+                              0.0, 0.0, 0, true},
+        core::MappingFitReport{proto_->true_map_tx, proto_->true_map_rx, 0.0,
+                               0.0, 0, true},
+        {}});
+  }
+
+  Report run(runtime::Context& ctx) override {
+    cal::OnlineRecalConfig config;
+    config.duration_s = spec_.duration_s;
+    config.slot_us = spec_.step_us;
+    config.seed = spec_.seed;
+    const double severity = 1.0 + 0.5 * static_cast<double>(spec_.motion % 3);
+    config.drift.ramp_angle_rad *= severity;
+    config.drift.ramp_translation_m *= severity;
+    config.pose_position_extent *= spec_.intensity;
+    config.pose_angle_extent *= spec_.intensity;
+    const cal::OnlineRecalResult r =
+        cal::run_online_recal_session(*proto_, *calibration_, config, &ctx);
+    Report report;
+    report.events = r.events;
+    report.slots = r.slots;
+    report.served_fraction = r.up_fraction;
+    report.avg_rate_gbps = 0.0;  // the recal plane reports margins
+    report.switches = static_cast<std::uint64_t>(r.refits);
+    return report;
+  }
+
+ private:
+  SessionSpec spec_;
+  std::optional<sim::Prototype> proto_;
+  std::optional<core::CalibrationResult> calibration_;
+};
+
 }  // namespace
 
 std::unique_ptr<SessionRunner> make_runner(const SessionSpec& spec) {
@@ -351,6 +405,7 @@ std::unique_ptr<SessionRunner> make_runner(const SessionSpec& spec) {
     case Variant::kMultiTx: return std::make_unique<MultiTxRunner>(spec);
     case Variant::kArena: return std::make_unique<ArenaRunner>(spec);
     case Variant::kStream: return std::make_unique<StreamRunner>(spec);
+    case Variant::kOnlineRecal: return std::make_unique<OnlineRecalRunner>(spec);
   }
   return std::make_unique<ChannelRunner>(spec);
 }

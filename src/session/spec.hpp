@@ -12,18 +12,20 @@
 
 namespace cyclops::session {
 
-/// The five legacy runner families plus the streaming plane.  Every
-/// variant maps onto one concrete SessionRunner in session/catalog.
+/// The five legacy runner families, the streaming plane, and the
+/// drift-injected online-recalibration scenario.  Every variant maps
+/// onto one concrete SessionRunner in session/catalog.
 enum class Variant : std::uint8_t {
-  kLink,     ///< link::run_link_session_events (exact-timing FSO loop)
-  kChannel,  ///< link::run_channel_session (steering-free phy::Channel)
-  kHetero,   ///< link::run_hetero_session (FSO + fallback, handover)
-  kMultiTx,  ///< link::run_multi_tx_session (N TXs, one headset)
-  kArena,    ///< arena::run_arena_session (N TXs × M headsets)
-  kStream,   ///< stream::StreamPipeline (zero-copy data plane)
+  kLink,        ///< link::run_link_session_events (exact-timing FSO loop)
+  kChannel,     ///< link::run_channel_session (steering-free phy::Channel)
+  kHetero,      ///< link::run_hetero_session (FSO + fallback, handover)
+  kMultiTx,     ///< link::run_multi_tx_session (N TXs, one headset)
+  kArena,       ///< arena::run_arena_session (N TXs × M headsets)
+  kStream,      ///< stream::StreamPipeline (zero-copy data plane)
+  kOnlineRecal, ///< cal::run_online_recal_session (drift + in-flight refit)
 };
 
-inline constexpr std::size_t kVariantCount = 6;
+inline constexpr std::size_t kVariantCount = 7;
 
 constexpr const char* variant_name(Variant v) noexcept {
   switch (v) {
@@ -33,6 +35,7 @@ constexpr const char* variant_name(Variant v) noexcept {
     case Variant::kMultiTx: return "multi_tx";
     case Variant::kArena: return "arena";
     case Variant::kStream: return "stream";
+    case Variant::kOnlineRecal: return "online_recal";
   }
   return "unknown";
 }

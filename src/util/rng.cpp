@@ -27,6 +27,22 @@ Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+Rng Rng::from_state(const RngState& state) noexcept {
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.s_[i] = state.s[i];
+  rng.cached_normal_ = state.cached_normal;
+  rng.has_cached_normal_ = state.has_cached_normal;
+  return rng;
+}
+
+RngState Rng::state() const noexcept {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
 std::uint64_t Rng::next_u64() noexcept {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

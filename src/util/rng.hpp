@@ -9,11 +9,27 @@
 
 namespace cyclops::util {
 
+/// Complete serializable Rng state: the four xoshiro words plus the
+/// Box-Muller cache.  Restoring it reproduces the stream bit-for-bit,
+/// which is what lets the calibration engine checkpoint mid-run
+/// (cal/checkpoint) without perturbing a single draw.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// Small, fast, splittable PRNG (xoshiro256**).  Satisfies the needs of the
 /// simulator: uniform doubles, Gaussians, and integer ranges.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Rebuilds a generator mid-stream from a saved state.
+  static Rng from_state(const RngState& state) noexcept;
+
+  /// Snapshot of the full generator state (pure; does not advance).
+  RngState state() const noexcept;
 
   /// Raw 64 random bits.
   std::uint64_t next_u64() noexcept;

@@ -48,6 +48,20 @@ TEST(ObsGaugeTest, MergeKeepsOtherOnlyWhenEverSet) {
   EXPECT_TRUE(target.ever_set());
 }
 
+TEST(ObsGaugeTest, MergeIsOrderIndependent) {
+  // Fleet shard rollups merge per-session registries in arbitrary order;
+  // gauge merge takes the max so any order yields the same bytes.
+  obs::Gauge ab, ba, lo, hi;
+  lo.set(3.0);
+  hi.set(5.0);
+  ab.merge_from(lo);
+  ab.merge_from(hi);
+  ba.merge_from(hi);
+  ba.merge_from(lo);
+  EXPECT_DOUBLE_EQ(ab.value(), 5.0);
+  EXPECT_DOUBLE_EQ(ba.value(), 5.0);
+}
+
 // ---- HistogramSpec ----
 
 TEST(ObsHistogramSpecTest, LogScaleEdges) {
